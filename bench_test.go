@@ -1,0 +1,309 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (the rows/series themselves are printed by cmd/repro; the
+// benches measure the cost of regeneration and carry the ablations
+// called out in DESIGN.md §5).
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkTable5
+package wsupgrade
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/adjudicate"
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/repro"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/stats"
+	"wsupgrade/internal/upgsim"
+	"wsupgrade/internal/xrand"
+)
+
+// benchGrid is the full-resolution inference grid used by cmd/repro.
+var benchGrid = repro.GridConfig{A: 80, B: 80, C: 24, AB: 120}
+
+// BenchmarkTable2Scenario1 regenerates the Scenario 1 block of Table 2
+// (duration of managed upgrade under three criteria × three detection
+// regimes).
+func BenchmarkTable2Scenario1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunSwitchStudy(repro.StudyConfig{
+			Scenario: relmodel.Scenario1(),
+			Step:     500,
+			Grid:     benchGrid,
+			Seed:     42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Regimes[repro.RegimePerfect].Criteria[repro.Criterion2].Attained {
+			b.Fatal("scenario 1 criterion 2 should not be attainable with perfect detection")
+		}
+	}
+}
+
+// BenchmarkTable2Scenario2 regenerates the Scenario 2 block of Table 2.
+func BenchmarkTable2Scenario2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunSwitchStudy(repro.StudyConfig{
+			Scenario:   relmodel.Scenario2(),
+			Step:       100,
+			MaxDemands: 15000,
+			Grid:       benchGrid,
+			Seed:       42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Regimes[repro.RegimePerfect].Criteria[repro.Criterion1].Attained {
+			b.Fatal("scenario 2 criterion 1 must be attainable")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the Scenario 1 percentile trajectories
+// (Fig 7): five series over 50,000 demands.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunSwitchStudy(repro.StudyConfig{
+			Scenario: relmodel.Scenario1(),
+			Step:     2000,
+			Grid:     benchGrid,
+			Seed:     42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trajectory) == 0 {
+			b.Fatal("no trajectory")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the Scenario 2 percentile trajectories
+// (Fig 8) over the paper's 10,000-demand range.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.RunSwitchStudy(repro.StudyConfig{
+			Scenario:   relmodel.Scenario2(),
+			Step:       500,
+			MaxDemands: 10000,
+			Grid:       benchGrid,
+			Seed:       42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trajectory) == 0 {
+			b.Fatal("no trajectory")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: the §5.2 simulation with
+// correlated release behaviour — 4 runs × 3 timeouts × 10,000 requests.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.RunAvailabilityStudy(repro.AvailabilityConfig{
+			Correlated: true, Requests: 10000, Seed: 2004})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 (independent release behaviour).
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.RunAvailabilityStudy(repro.AvailabilityConfig{
+			Correlated: false, Requests: 10000, Seed: 2004})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			r := row.Result
+			if r.System.CR <= r.Rel1.CR || r.System.CR <= r.Rel2.CR {
+				b.Fatalf("run %d: independence must let the system beat both releases", row.Run)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationModes measures the §4.2 operating modes on one
+// workload (run 1, timeout 2 s): reliability vs responsiveness vs dynamic
+// quorum vs sequential.
+func BenchmarkAblationModes(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		mode   upgsim.Mode
+		quorum int
+	}{
+		{"reliability", upgsim.ParallelReliability, 0},
+		{"responsiveness", upgsim.ParallelResponsiveness, 0},
+		{"dynamic-q1", upgsim.ParallelDynamic, 1},
+		{"sequential", upgsim.Sequential, 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var met float64
+			var execs int
+			for i := 0; i < b.N; i++ {
+				res, err := upgsim.Simulate(upgsim.Config{
+					Run:        relmodel.Runs()[0],
+					Correlated: true,
+					Latency:    relmodel.PaperLatency(),
+					TimeOut:    2.0,
+					Requests:   10000,
+					Seed:       7,
+					Mode:       mode.mode,
+					Quorum:     mode.quorum,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met = res.System.MET
+				execs = res.System.Executions
+			}
+			b.ReportMetric(met, "sysMET-s")
+			b.ReportMetric(float64(execs)/10000, "execs/req")
+		})
+	}
+}
+
+// BenchmarkAblationGridResolution measures the accuracy/cost trade-off of
+// the white-box posterior grid: finer grids cost more per posterior; the
+// reported 99% percentile of the new release shows the discretization
+// drift.
+func BenchmarkAblationGridResolution(b *testing.B) {
+	counts := bayes.JointCounts{N: 50000, Both: 13, AOnly: 40, BOnly: 31}
+	s1 := relmodel.Scenario1()
+	for _, grid := range []int{40, 80, 120, 160} {
+		b.Run(fmt.Sprintf("grid-%d", grid), func(b *testing.B) {
+			w, err := bayes.NewWhiteBox(bayes.WhiteBoxConfig{
+				PriorA: s1.PriorA, PriorB: s1.PriorB,
+				GridA: grid, GridB: grid, GridC: grid / 4, GridAB: 2 * grid,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var p99 float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post, err := w.Posterior(counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p99 = post.PercentileB(0.99)
+			}
+			b.ReportMetric(p99*1e3, "TB99-x1e-3")
+		})
+	}
+}
+
+// BenchmarkAblationAdjudicators compares the per-call cost of the
+// adjudication strategies on a realistic reply set.
+func BenchmarkAblationAdjudicators(b *testing.B) {
+	replies := []adjudicate.Reply{
+		{Release: "1.0", Body: []byte("<r><x>42</x></r>"), Latency: 120 * time.Millisecond},
+		{Release: "1.1", Body: []byte("<r><x>42</x></r>"), Latency: 80 * time.Millisecond},
+		{Release: "1.2", Body: []byte("<r><x>41</x></r>"), Latency: 60 * time.Millisecond},
+	}
+	for _, adj := range []adjudicate.Adjudicator{
+		adjudicate.RandomValid{}, adjudicate.Majority{}, adjudicate.FastestValid{},
+	} {
+		b.Run(adj.Name(), func(b *testing.B) {
+			rng := xrand.New(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := adj.Adjudicate(replies, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWhiteBoxPosterior measures the inference hot path at the
+// default resolution.
+func BenchmarkWhiteBoxPosterior(b *testing.B) {
+	s1 := relmodel.Scenario1()
+	w, err := bayes.NewWhiteBox(bayes.WhiteBoxConfig{PriorA: s1.PriorA, PriorB: s1.PriorB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := bayes.JointCounts{N: 50000, Both: 13, AOnly: 40, BOnly: 31}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Posterior(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineProxy measures end-to-end middleware request latency
+// over two live in-process releases (parallel reliability mode).
+func BenchmarkEngineProxy(b *testing.B) {
+	oldRel, err := service.New(service.DemoContract("1.0"), service.DemoBehaviours(), service.FaultPlan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newRel, err := service.New(service.DemoContract("1.1"), service.DemoBehaviours(), service.FaultPlan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldTS := httptest.NewServer(oldRel.Handler())
+	defer oldTS.Close()
+	newTS := httptest.NewServer(newRel.Handler())
+	defer newTS.Close()
+
+	engine, err := NewEngine(EngineConfig{
+		Releases: []Endpoint{
+			{Version: "1.0", URL: oldTS.URL},
+			{Version: "1.1", URL: newTS.URL},
+		},
+		Oracle: oracle.Header{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	proxy := httptest.NewServer(engine.Handler())
+	defer proxy.Close()
+
+	client := &soap.Client{URL: proxy.URL, HTTP: &http.Client{Timeout: 5 * time.Second}}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out service.AddResponse
+		if err := client.Call(ctx, "add", service.AddRequest{A: i, B: 1}, &out); err != nil {
+			b.Fatal(err)
+		}
+		if out.Sum != i+1 {
+			b.Fatalf("sum = %d", out.Sum)
+		}
+	}
+}
+
+// BenchmarkBlackBoxPosterior measures the single-release inference used
+// for prior calibration.
+func BenchmarkBlackBoxPosterior(b *testing.B) {
+	bb, err := bayes.NewBlackBox(stats.ScaledBeta{Alpha: 20, Beta: 20, Upper: 0.002}, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bb.Posterior(50000, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Command registryd serves the UDDI-style service registry over HTTP:
+//
+//	registryd -addr :8070
+//
+// API (XML over HTTP):
+//
+//	POST /publish    register a release (<entry>)
+//	GET  /find?name=N         all releases of a service, newest first
+//	GET  /get?name=N&version=V one release
+//	POST /subscribe  upgrade-notification callback (<subscription>)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"wsupgrade/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "registryd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("registryd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           registry.NewServer(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("registryd: listening on %s", *addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,177 @@
+// Command upgraded runs the managed-upgrade middleware as a standalone
+// proxy (the Fig 4 deployment): consumers call it through the service's
+// WSDL interface; it fans requests out to the deployed releases,
+// adjudicates, monitors, and switches to the new release when the
+// configured confidence criterion is met.
+//
+//	upgraded -addr :8080 \
+//	    -release 1.0=http://localhost:8081 \
+//	    -release 1.1=http://localhost:8082 \
+//	    -phase observation -criterion 3 -confidence 0.99 \
+//	    -check-every 100 -timeout 2s
+//
+// The middleware serves SOAP at "/", its confidence-extended WSDL at
+// "/wsdl" and liveness at "/healthz"; it answers the §6.2 OperationConf
+// and "<op>Conf" operations, and logs every adjudicated demand as JSONL
+// to -log (default stderr off).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/core"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "upgraded:", err)
+		os.Exit(1)
+	}
+}
+
+type releaseFlags []core.Endpoint
+
+func (r *releaseFlags) String() string { return fmt.Sprintf("%v", []core.Endpoint(*r)) }
+
+func (r *releaseFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("release must be version=url, got %q", v)
+	}
+	*r = append(*r, core.Endpoint{Version: parts[0], URL: parts[1]})
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("upgraded", flag.ContinueOnError)
+	var releases releaseFlags
+	fs.Var(&releases, "release", "deployed release as version=url (repeat; oldest first)")
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		phase      = fs.String("phase", "parallel", "initial phase: old-only|observation|parallel|new-only")
+		mode       = fs.String("mode", "reliability", "fan-out mode: reliability|responsiveness|dynamic|sequential")
+		quorum     = fs.Int("quorum", 1, "responses to wait for in dynamic mode")
+		timeout    = fs.Duration("timeout", 2*time.Second, "per-request fan-out timeout")
+		criterion  = fs.Int("criterion", 3, "switch criterion (1, 2 or 3); 0 disables auto-switch")
+		confidence = fs.Float64("confidence", 0.99, "criterion confidence level")
+		target     = fs.Float64("target", 1e-3, "criterion 2 pfd target / published-confidence target")
+		checkEvery = fs.Int("check-every", 100, "evaluate the criterion every N demands")
+		pfdUpper   = fs.Float64("pfd-upper", 0.1, "prior pfd support upper bound")
+		logPath    = fs.String("log", "", "JSONL event log path (empty = no log)")
+		oracleName = fs.String("oracle", "reference", "failure oracle: fault-only|reference|back-to-back")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(releases) == 0 {
+		return fmt.Errorf("at least one -release is required")
+	}
+
+	cfg := core.Config{
+		Releases: releases,
+		Timeout:  *timeout,
+		Quorum:   *quorum,
+	}
+
+	switch *phase {
+	case "old-only":
+		cfg.InitialPhase = core.PhaseOldOnly
+	case "observation":
+		cfg.InitialPhase = core.PhaseObservation
+	case "parallel":
+		cfg.InitialPhase = core.PhaseParallel
+	case "new-only":
+		cfg.InitialPhase = core.PhaseNewOnly
+	default:
+		return fmt.Errorf("unknown phase %q", *phase)
+	}
+
+	switch *mode {
+	case "reliability":
+		cfg.Mode = core.ModeReliability
+	case "responsiveness":
+		cfg.Mode = core.ModeResponsiveness
+	case "dynamic":
+		cfg.Mode = core.ModeDynamic
+	case "sequential":
+		cfg.Mode = core.ModeSequential
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	switch *oracleName {
+	case "fault-only":
+		cfg.Oracle = oracle.FaultOnly{}
+	case "reference":
+		cfg.Oracle = oracle.Reference{Release: releases[0].Version}
+	case "back-to-back":
+		cfg.Oracle = oracle.BackToBack{}
+	default:
+		return fmt.Errorf("unknown oracle %q", *oracleName)
+	}
+
+	prior := stats.ScaledBeta{Alpha: 1, Beta: 3, Upper: *pfdUpper}
+	cfg.Inference = &bayes.WhiteBoxConfig{
+		PriorA: prior, PriorB: prior,
+		GridA: 60, GridB: 60, GridC: 16, GridAB: 80,
+	}
+	cfg.ConfidenceTarget = *target
+	cfg.EnableConfOps = true
+	cfg.PublishHeader = true
+	contract := service.DemoContract(releases[len(releases)-1].Version)
+	cfg.Contract = &contract
+
+	if *criterion != 0 {
+		var crit bayes.Criterion
+		switch *criterion {
+		case 1:
+			c1, err := bayes.NewCriterion1(prior, *confidence)
+			if err != nil {
+				return err
+			}
+			crit = c1
+		case 2:
+			crit = bayes.Criterion2{Confidence: *confidence, Target: *target}
+		case 3:
+			crit = bayes.Criterion3{Confidence: *confidence}
+		default:
+			return fmt.Errorf("unknown criterion %d", *criterion)
+		}
+		cfg.Policy = &core.PolicyConfig{Criterion: crit, CheckEvery: *checkEvery}
+	}
+
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening log: %w", err)
+		}
+		defer f.Close()
+		cfg.Store = io.Writer(f)
+	}
+
+	engine, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("upgraded: managing %d releases on %s (phase %v, mode %v)",
+		len(releases), *addr, cfg.InitialPhase, cfg.Mode)
+	return srv.ListenAndServe()
+}

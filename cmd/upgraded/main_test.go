@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReleaseFlagParsing(t *testing.T) {
+	var r releaseFlags
+	if err := r.Set("1.0=http://localhost:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("1.1=http://localhost:8082"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0].Version != "1.0" || r[1].URL != "http://localhost:8082" {
+		t.Fatalf("parsed = %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("String() empty")
+	}
+	for _, bad := range []string{"", "1.0", "=http://x", "1.0="} {
+		var rf releaseFlags
+		if err := rf.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	cases := map[string][]string{
+		"no releases":   {},
+		"bad phase":     {"-release", "1.0=http://x", "-phase", "sideways"},
+		"bad mode":      {"-release", "1.0=http://x", "-mode", "warp"},
+		"bad criterion": {"-release", "1.0=http://x", "-criterion", "9"},
+		"bad oracle":    {"-release", "1.0=http://x", "-oracle", "crystal-ball"},
+		"bad flag":      {"-bogus"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if strings.Contains(err.Error(), "listen") {
+			t.Errorf("%s: reached ListenAndServe: %v", name, err)
+		}
+	}
+}

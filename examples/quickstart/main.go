@@ -1,0 +1,138 @@
+// Quickstart: a managed upgrade in one file.
+//
+// Two releases of a Web Service run side by side: the old 1.0 is
+// dependable; the new 1.1 is better on average but unproven. The upgrade
+// middleware intercepts consumer requests, runs the releases
+// back-to-back, adjudicates, measures confidence in the new release by
+// Bayesian inference, and switches to it only when the §5.1.1.2
+// criterion is met.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"wsupgrade"
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve starts an HTTP handler on an ephemeral local port.
+func serve(h http.Handler) (url string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+func run() error {
+	// --- The two releases -------------------------------------------------
+	// Old release: occasionally raises an exception (evident failure).
+	oldRel, err := wsupgrade.NewRelease(service.DemoContract("1.0"), service.DemoBehaviours(),
+		wsupgrade.FaultPlan{Profile: relmodel.Profile{CR: 0.95, ER: 0.04, NER: 0.01}, Seed: 1})
+	if err != nil {
+		return err
+	}
+	// New release: fewer failures, but nobody knows that yet.
+	newRel, err := wsupgrade.NewRelease(service.DemoContract("1.1"), service.DemoBehaviours(),
+		wsupgrade.FaultPlan{Profile: relmodel.Profile{CR: 0.99, ER: 0.008, NER: 0.002}, Seed: 2})
+	if err != nil {
+		return err
+	}
+	oldURL, stopOld, err := serve(oldRel.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopOld()
+	newURL, stopNew, err := serve(newRel.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopNew()
+
+	// --- The managed-upgrade middleware ------------------------------------
+	prior := wsupgrade.ScaledBeta{Alpha: 1, Beta: 3, Upper: 0.3}
+	engine, err := wsupgrade.NewEngine(wsupgrade.EngineConfig{
+		Releases: []wsupgrade.Endpoint{
+			{Version: "1.0", URL: oldURL},
+			{Version: "1.1", URL: newURL},
+		},
+		InitialPhase: wsupgrade.PhaseObservation, // deliver old, observe new (§3.1)
+		Oracle:       oracle.Reference{Release: "1.0"},
+		Inference: &wsupgrade.WhiteBoxConfig{
+			PriorA: prior, PriorB: prior,
+			GridA: 50, GridB: 50, GridC: 12, GridAB: 60,
+		},
+		Policy: &wsupgrade.PolicyConfig{
+			Criterion:  bayes.Criterion3{Confidence: 0.95}, // new no worse than old
+			CheckEvery: 50,
+			MinDemands: 100,
+		},
+		ConfidenceTarget: 0.05,
+		Seed:             3,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	proxyURL, stopProxy, err := serve(engine.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopProxy()
+
+	// --- Consumer traffic ---------------------------------------------------
+	client := &wsupgrade.SOAPClient{URL: proxyURL, HTTP: &http.Client{Timeout: 5 * time.Second}}
+	fmt.Println("driving consumer traffic through the managed upgrade...")
+	var switched bool
+	for i := 1; i <= 600; i++ {
+		var out service.AddResponse
+		err := client.Call(context.Background(), "add", service.AddRequest{A: i, B: i}, &out)
+		if err != nil {
+			// Evident failures of the composite are possible but rare:
+			// both releases must fail on the same demand.
+			continue
+		}
+		if i%100 == 0 {
+			rep, err := engine.Confidence("")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("after %4d demands: phase=%-12v P(pfd_old<=%.2f)=%.3f  P(pfd_new<=%.2f)=%.3f\n",
+				i, engine.Phase(), rep.Target, rep.Old, rep.Target, rep.New)
+		}
+		if !switched && engine.Phase() == wsupgrade.PhaseNewOnly {
+			at, _ := engine.SwitchedAt()
+			fmt.Printf(">>> switched to release 1.1 after %d back-to-back demands\n", at)
+			switched = true
+		}
+	}
+	if !switched {
+		fmt.Println("no switch yet — the criterion wants more evidence")
+	}
+
+	old10, _ := engine.Stats("1.0")
+	new11, _ := engine.Stats("1.1")
+	fmt.Printf("release 1.0: %d demands, availability %.3f, %d judged failures\n",
+		old10.Demands, old10.Availability(), old10.JudgedFailures)
+	fmt.Printf("release 1.1: %d demands, availability %.3f, %d judged failures\n",
+		new11.Demands, new11.Availability(), new11.JudgedFailures)
+	return nil
+}

@@ -1,0 +1,281 @@
+// Third-party component upgrade, end to end (Fig 4).
+//
+// A composite Web Service depends on a third-party component WS found
+// through a UDDI-style registry. The component's provider publishes a new
+// release while keeping the old one operational (§3.1). The composite:
+//
+//  1. is notified by the registry of the new release (§7.2);
+//  2. deploys a managed-upgrade middleware over the two releases and
+//     rebinds its component to the middleware — consumers notice nothing;
+//  3. lets the middleware compare the releases back-to-back, building
+//     Bayesian confidence in the new release;
+//  4. when the switch criterion fires, rebinds straight to the new
+//     release and phases the middleware out.
+//
+// Run with: go run ./examples/thirdparty
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsupgrade"
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/registry"
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func serve(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// compositeContract: one operation, implemented by calling the component.
+func compositeContract() wsdl.Contract {
+	return wsdl.Contract{
+		Name:            "TravelBooking",
+		TargetNamespace: "urn:example:travel",
+		Version:         "1.0",
+		Operations: []wsdl.Operation{{
+			Name:   "quote",
+			Input:  []wsdl.Param{{Name: "nights", Type: "s:int"}, {Name: "ratePerNight", Type: "s:int"}},
+			Output: []wsdl.Param{{Name: "price", Type: "s:int"}},
+		}},
+	}
+}
+
+type quoteRequest struct {
+	XMLName struct{} `xml:"quoteRequest"`
+	Nights  int      `xml:"nights"`
+	Rate    int      `xml:"ratePerNight"`
+}
+
+type quoteResponse struct {
+	XMLName struct{} `xml:"quoteResponse"`
+	Price   int      `xml:"price"`
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// --- The registry (UDDI role) ------------------------------------------
+	regURL, stopReg, err := serve(wsupgrade.NewRegistry())
+	if err != nil {
+		return err
+	}
+	defer stopReg()
+	reg := &wsupgrade.RegistryClient{Base: regURL}
+	fmt.Println("registry up at", regURL)
+
+	// --- The third-party component, release 1.0 ----------------------------
+	oldRel, err := wsupgrade.NewRelease(service.DemoContract("1.0"), service.DemoBehaviours(),
+		wsupgrade.FaultPlan{Profile: relmodel.Profile{CR: 0.97, ER: 0.02, NER: 0.01}, Seed: 11})
+	if err != nil {
+		return err
+	}
+	oldURL, stopOld, err := serve(oldRel.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopOld()
+	if err := reg.Publish(ctx, wsupgrade.RegistryEntry{
+		Name: "WebService1", Version: "1.0", URL: oldURL, Provider: "third-party"}); err != nil {
+		return err
+	}
+	fmt.Println("third party published WebService1 1.0")
+
+	// --- The composite WS ----------------------------------------------------
+	comp, err := wsupgrade.NewComposite(compositeContract())
+	if err != nil {
+		return err
+	}
+	if err := comp.Handle("quote", func(ctx context.Context, req *soap.Request, deps *wsupgrade.CompositeDeps) (interface{}, error) {
+		var in quoteRequest
+		if err := req.Decode(&in); err != nil {
+			return nil, soap.ClientFault(err.Error())
+		}
+		// Glue: price = nights*rate computed by repeated use of the
+		// component's add operation (a toy orchestration).
+		total := 0
+		for i := 0; i < in.Nights; i++ {
+			var sum service.AddResponse
+			if err := deps.Call(ctx, "ws1", "add", service.AddRequest{A: total, B: in.Rate}, &sum); err != nil {
+				return nil, err
+			}
+			total = sum.Sum
+		}
+		return quoteResponse{Price: total}, nil
+	}); err != nil {
+		return err
+	}
+	if err := comp.ResolveNewest(ctx, reg, "ws1", "WebService1"); err != nil {
+		return err
+	}
+
+	// The upgrade reaction: deploy a managed upgrade when a new release
+	// of the component appears.
+	var (
+		mu     sync.Mutex
+		engine *wsupgrade.Engine
+	)
+	upgradeStarted := make(chan struct{})
+	comp.OnUpgrade(func(e registry.Entry) {
+		mu.Lock()
+		defer mu.Unlock()
+		if engine != nil || e.Version == "1.0" {
+			return
+		}
+		fmt.Printf("notification: %s %s published at %s — starting managed upgrade\n",
+			e.Name, e.Version, e.URL)
+		prior := wsupgrade.ScaledBeta{Alpha: 1, Beta: 3, Upper: 0.3}
+		eng, err := wsupgrade.NewEngine(wsupgrade.EngineConfig{
+			Releases: []wsupgrade.Endpoint{
+				{Version: "1.0", URL: oldURL},
+				{Version: e.Version, URL: e.URL},
+			},
+			InitialPhase: wsupgrade.PhaseObservation,
+			Oracle:       oracle.Reference{Release: "1.0"},
+			Inference: &wsupgrade.WhiteBoxConfig{
+				PriorA: prior, PriorB: prior,
+				GridA: 50, GridB: 50, GridC: 12, GridAB: 60,
+			},
+			Policy: &wsupgrade.PolicyConfig{
+				Criterion:  bayes.Criterion3{Confidence: 0.95},
+				CheckEvery: 40,
+				MinDemands: 80,
+			},
+			ConfidenceTarget: 0.05,
+			Seed:             13,
+		})
+		if err != nil {
+			log.Println("engine:", err)
+			return
+		}
+		engineURL, _, err := serve(eng.Handler())
+		if err != nil {
+			log.Println("serving engine:", err)
+			return
+		}
+		if err := comp.Bind("ws1", engineURL); err != nil {
+			log.Println("rebind:", err)
+			return
+		}
+		engine = eng
+		close(upgradeStarted)
+		fmt.Println("composite rebound to the managed-upgrade middleware at", engineURL)
+	})
+
+	compURL, stopComp, err := serve(comp.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopComp()
+	if err := reg.Subscribe(ctx, "WebService1", compURL+"/notify"); err != nil {
+		return err
+	}
+	fmt.Println("composite up at", compURL, "— bound directly to 1.0")
+
+	// --- Consumers start using the composite --------------------------------
+	client := &wsupgrade.SOAPClient{URL: compURL, HTTP: &http.Client{Timeout: 10 * time.Second}}
+	call := func(i int) error {
+		var out quoteResponse
+		err := client.Call(ctx, "quote", quoteRequest{Nights: 3, Rate: 100 + i%7}, &out)
+		if err == nil && out.Price != 3*(100+i%7) {
+			return fmt.Errorf("wrong price %d", out.Price)
+		}
+		return err
+	}
+	for i := 0; i < 30; i++ {
+		if err := call(i); err != nil {
+			fmt.Println("  (transient consumer-visible failure:", err, ")")
+		}
+	}
+	fmt.Println("30 quotes served against release 1.0")
+
+	// --- The third party publishes release 1.1 ------------------------------
+	newRel, err := wsupgrade.NewRelease(service.DemoContract("1.1"), service.DemoBehaviours(),
+		wsupgrade.FaultPlan{Profile: relmodel.Profile{CR: 0.995, ER: 0.004, NER: 0.001}, Seed: 12})
+	if err != nil {
+		return err
+	}
+	newURL, stopNew, err := serve(newRel.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopNew()
+	if err := reg.Publish(ctx, wsupgrade.RegistryEntry{
+		Name: "WebService1", Version: "1.1", URL: newURL, Provider: "third-party"}); err != nil {
+		return err
+	}
+	select {
+	case <-upgradeStarted:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("upgrade notification never arrived")
+	}
+
+	// --- Traffic drives the managed upgrade ---------------------------------
+	for i := 0; i < 400; i++ {
+		_ = call(i)
+		mu.Lock()
+		eng := engine
+		mu.Unlock()
+		if eng != nil && eng.Phase() == wsupgrade.PhaseNewOnly {
+			at, _ := eng.SwitchedAt()
+			fmt.Printf("criterion satisfied after %d back-to-back demands — switching\n", at)
+			break
+		}
+	}
+	mu.Lock()
+	eng := engine
+	mu.Unlock()
+	if eng == nil {
+		return fmt.Errorf("engine never started")
+	}
+	if eng.Phase() != wsupgrade.PhaseNewOnly {
+		fmt.Println("criterion not yet satisfied; composite keeps the middleware in place")
+	} else {
+		// Phase out: bind the composite straight to 1.1.
+		if err := comp.Bind("ws1", newURL); err != nil {
+			return err
+		}
+		fmt.Println("composite rebound directly to release 1.1; middleware phased out")
+	}
+	rep, err := eng.Confidence("")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final confidence: P(pfd_1.0<=%.2f)=%.3f  P(pfd_1.1<=%.2f)=%.3f over %d paired demands\n",
+		rep.Target, rep.Old, rep.Target, rep.New, rep.Demands)
+	for _, v := range []string{"1.0", "1.1"} {
+		if s, err := eng.Stats(v); err == nil {
+			fmt.Printf("release %s: %d demands, availability %.3f, %d judged failures\n",
+				v, s.Demands, s.Availability(), s.JudgedFailures)
+		}
+	}
+	// A final quote through the fully upgraded path.
+	if err := call(0); err != nil {
+		return err
+	}
+	fmt.Println("quotes continue uninterrupted on release 1.1")
+	return eng.Close()
+}

@@ -1,0 +1,132 @@
+package wsupgrade
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/service"
+)
+
+// The capstone scenario: a managed upgrade that survives the new release
+// crashing mid-transition. The health checker marks the dead release
+// down, consumers keep being served by the old release, and when the new
+// release is redeployed the upgrade resumes and completes.
+func TestUpgradeSurvivesMidFlightCrash(t *testing.T) {
+	oldRel, err := NewRelease(service.DemoContract("1.0"), service.DemoBehaviours(),
+		FaultPlan{Profile: relmodel.Profile{CR: 0.9, NER: 0.1}, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldTS := httptest.NewServer(oldRel.Handler())
+	defer oldTS.Close()
+
+	newRel, err := NewRelease(service.DemoContract("1.1"), service.DemoBehaviours(), FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTS := httptest.NewServer(newRel.Handler())
+
+	prior := ScaledBeta{Alpha: 1, Beta: 3, Upper: 0.4}
+	engine, err := NewEngine(EngineConfig{
+		Releases: []Endpoint{
+			{Version: "1.0", URL: oldTS.URL},
+			{Version: "1.1", URL: newTS.URL},
+		},
+		InitialPhase: PhaseParallel,
+		Oracle:       oracle.Header{},
+		Timeout:      time.Second,
+		Inference: &WhiteBoxConfig{
+			PriorA: prior, PriorB: prior,
+			GridA: 30, GridB: 30, GridC: 8, GridAB: 32,
+		},
+		Policy: &PolicyConfig{
+			Criterion:  Criterion3{Confidence: 0.9},
+			CheckEvery: 25,
+			MinDemands: 150, // long enough that the crash happens first
+		},
+		Seed: 72,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	proxy := httptest.NewServer(engine.Handler())
+	defer proxy.Close()
+
+	client := &SOAPClient{URL: proxy.URL}
+	ctx := context.Background()
+	call := func(i int) error {
+		var out service.AddResponse
+		return client.Call(ctx, "add", service.AddRequest{A: i, B: 1}, &out)
+	}
+
+	// Normal parallel operation.
+	for i := 0; i < 40; i++ {
+		if err := call(i); err != nil {
+			t.Fatalf("pre-crash demand %d: %v", i, err)
+		}
+	}
+
+	// The new release crashes mid-upgrade.
+	newTS.Close()
+	engine.CheckHealth(ctx)
+	if !engine.Down("1.1") {
+		t.Fatal("crashed release not marked down")
+	}
+	// Consumers are still served (by the old release alone), quickly.
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		if err := call(i); err != nil {
+			t.Fatalf("during-crash demand %d: %v", i, err)
+		}
+		if time.Since(start) > 800*time.Millisecond {
+			t.Fatal("demand waited on the crashed release")
+		}
+	}
+
+	// The provider redeploys 1.1; the prober notices; the upgrade
+	// resumes and eventually completes.
+	newTS2 := httptest.NewServer(newRel.Handler())
+	defer newTS2.Close()
+	if err := engine.RemoveRelease("1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.AddRelease(Endpoint{Version: "1.1", URL: newTS2.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.SetPhase(PhaseParallel); err != nil {
+		t.Fatal(err)
+	}
+	engine.CheckHealth(ctx)
+	if engine.Down("1.1") {
+		t.Fatal("redeployed release still marked down")
+	}
+	for i := 0; i < 400 && engine.Phase() != PhaseNewOnly; i++ {
+		if err := call(i); err != nil {
+			// Rare: both releases failing the same demand.
+			continue
+		}
+	}
+	if engine.Phase() != PhaseNewOnly {
+		t.Fatalf("upgrade never completed after recovery; joint = %+v", engine.Monitor().Joint())
+	}
+	// Post-switch service is healthy and fully attributable.
+	rep, err := engine.Confidence("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.New <= rep.Old {
+		t.Fatalf("confidence ordering wrong after upgrade: new %v old %v", rep.New, rep.Old)
+	}
+	avail, err := engine.AvailabilityConfidence("1.0", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail < 0.9 {
+		t.Fatalf("old release availability confidence = %v despite responding throughout", avail)
+	}
+}

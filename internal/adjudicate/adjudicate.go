@@ -1,0 +1,258 @@
+// Package adjudicate implements the response adjudication of the managed
+// upgrade middleware (§4.2, §5.2.1): deciding which of the responses
+// collected from the concurrently running releases is returned to the
+// consumer of the Web Service.
+//
+// Two layers are provided.
+//
+// The kind level works on abstract outcome kinds (correct / evident
+// failure / non-evident failure) and implements the exact rule set of
+// §5.2.1; the availability/performance simulator uses it.
+//
+// The reply level works on live responses (payload bytes, error, latency)
+// as collected by the middleware from real release endpoints, and offers
+// the adjudication strategies discussed in §4.2 and §6.1: the paper's
+// random-among-valid rule, majority voting, and fastest-valid.
+package adjudicate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/xrand"
+)
+
+// Sentinel adjudication failures. Both are "evident" failures of the
+// composite service: the consumer receives an exception rather than a
+// wrong answer.
+var (
+	// ErrNoResponses corresponds to the §5.2.1 rule "if no response has
+	// been collected the middleware returns 'Web Service unavailable'".
+	ErrNoResponses = errors.New("adjudicate: no responses collected within timeout")
+	// ErrAllEvident corresponds to "if all collected responses are
+	// evidently incorrect then the middleware raises an exception".
+	ErrAllEvident = errors.New("adjudicate: all collected responses evidently incorrect")
+)
+
+// ---------------------------------------------------------------------------
+// Kind-level adjudication (§5.2.1), used by the simulation study.
+
+// KindVerdict is the system-level outcome of one adjudicated request.
+type KindVerdict struct {
+	// Outcome is the kind of the response delivered to the consumer.
+	// It is meaningful only when Unavailable is false.
+	Outcome relmodel.OutcomeKind
+	// Unavailable is set when no release responded within the timeout;
+	// the consumer receives "Web Service unavailable".
+	Unavailable bool
+}
+
+// Kinds applies the §5.2.1 rules to the outcome kinds of the responses
+// collected before the timeout:
+//
+//   - nothing collected → "Web Service unavailable";
+//   - all collected responses evidently incorrect → an exception, itself
+//     an evident failure of the composite service;
+//   - otherwise a response is selected at random among the valid (not
+//     evidently incorrect) ones; identical responses make the choice
+//     immaterial, and a lone valid response is returned as-is.
+//
+// The random pick means the consumer can still receive a non-evidently
+// incorrect response even when a correct one was collected — exactly the
+// exposure the paper quantifies in Tables 5 and 6.
+func Kinds(collected []relmodel.OutcomeKind, rng *xrand.Rand) KindVerdict {
+	if len(collected) == 0 {
+		return KindVerdict{Unavailable: true}
+	}
+	valid := collected[:0:0]
+	for _, k := range collected {
+		if k != relmodel.EvidentFailure {
+			valid = append(valid, k)
+		}
+	}
+	if len(valid) == 0 {
+		return KindVerdict{Outcome: relmodel.EvidentFailure}
+	}
+	return KindVerdict{Outcome: valid[rng.Intn(len(valid))]}
+}
+
+// ---------------------------------------------------------------------------
+// Reply-level adjudication, used by the live middleware.
+
+// Reply is one release's response to an intercepted consumer request.
+type Reply struct {
+	// Release identifies the responding release (its version string).
+	Release string
+	// Body is the response payload. It is meaningful only when Err is nil.
+	Body []byte
+	// Err, when non-nil, marks an evident failure: a transport error, a
+	// timeout, or a SOAP fault raised by the release.
+	Err error
+	// Latency is the observed execution time of the release.
+	Latency time.Duration
+	// Header carries transport metadata of the exchange (e.g. the
+	// release's version header, or the fault-injection marker the test
+	// harness's ground-truth oracle reads). May be nil.
+	Header http.Header
+}
+
+// Valid reports whether the reply is not an evident failure.
+func (r Reply) Valid() bool { return r.Err == nil }
+
+// Adjudicator selects the response returned to the consumer from the
+// replies collected within the middleware's timeout.
+//
+// Implementations must be deterministic given the rng stream and must not
+// retain or mutate the replies slice.
+type Adjudicator interface {
+	// Adjudicate returns the winning reply, or an error when no valid
+	// response can be produced (ErrNoResponses, ErrAllEvident).
+	Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error)
+	// Name identifies the strategy in logs and reports.
+	Name() string
+}
+
+// RandomValid is the paper's §5.2.1 strategy: any valid reply, chosen
+// uniformly at random.
+type RandomValid struct{}
+
+var _ Adjudicator = RandomValid{}
+
+// Adjudicate implements Adjudicator.
+func (RandomValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
+	valid := validOf(replies)
+	switch {
+	case len(replies) == 0:
+		return Reply{}, ErrNoResponses
+	case len(valid) == 0:
+		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
+	default:
+		return valid[rng.Intn(len(valid))], nil
+	}
+}
+
+// Name implements Adjudicator.
+func (RandomValid) Name() string { return "random-valid" }
+
+// Majority groups the valid replies by exact payload equality and returns
+// a representative of the largest group; ties are broken uniformly at
+// random among the tied groups. With two releases this detects
+// disagreement (group sizes 1+1) but cannot out-vote it, so a tie between
+// two singleton groups falls back to a random pick — the natural
+// degradation of voting at redundancy level two (§4.2).
+type Majority struct{}
+
+var _ Adjudicator = Majority{}
+
+// Adjudicate implements Adjudicator.
+func (Majority) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
+	valid := validOf(replies)
+	switch {
+	case len(replies) == 0:
+		return Reply{}, ErrNoResponses
+	case len(valid) == 0:
+		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
+	}
+	type group struct {
+		rep  Reply
+		size int
+	}
+	var groups []group
+next:
+	for _, r := range valid {
+		for i := range groups {
+			if bytes.Equal(groups[i].rep.Body, r.Body) {
+				groups[i].size++
+				continue next
+			}
+		}
+		groups = append(groups, group{rep: r, size: 1})
+	}
+	best := 0
+	for _, g := range groups {
+		if g.size > best {
+			best = g.size
+		}
+	}
+	tied := groups[:0:0]
+	for _, g := range groups {
+		if g.size == best {
+			tied = append(tied, g)
+		}
+	}
+	return tied[rng.Intn(len(tied))].rep, nil
+}
+
+// Name implements Adjudicator.
+func (Majority) Name() string { return "majority" }
+
+// FastestValid returns the valid reply with the lowest latency — the
+// paper's "parallel execution for maximum responsiveness" mode (§4.2,
+// mode 2). Latency ties break deterministically by release name.
+type FastestValid struct{}
+
+var _ Adjudicator = FastestValid{}
+
+// Adjudicate implements Adjudicator.
+func (FastestValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
+	valid := validOf(replies)
+	switch {
+	case len(replies) == 0:
+		return Reply{}, ErrNoResponses
+	case len(valid) == 0:
+		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
+	}
+	sort.Slice(valid, func(i, j int) bool {
+		if valid[i].Latency != valid[j].Latency {
+			return valid[i].Latency < valid[j].Latency
+		}
+		return valid[i].Release < valid[j].Release
+	})
+	return valid[0], nil
+}
+
+// Name implements Adjudicator.
+func (FastestValid) Name() string { return "fastest-valid" }
+
+// Preferred returns the reply of the named release when it is valid and
+// falls back to the given Adjudicator otherwise. The manager uses it for
+// the "old only" and "new only" lifecycle phases in which one release is
+// authoritative while others are merely observed.
+type Preferred struct {
+	Release  string
+	Fallback Adjudicator
+}
+
+var _ Adjudicator = Preferred{}
+
+// Adjudicate implements Adjudicator.
+func (p Preferred) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
+	for _, r := range replies {
+		if r.Release == p.Release && r.Valid() {
+			return r, nil
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = RandomValid{}
+	}
+	return fb.Adjudicate(replies, rng)
+}
+
+// Name implements Adjudicator.
+func (p Preferred) Name() string { return "preferred(" + p.Release + ")" }
+
+func validOf(replies []Reply) []Reply {
+	valid := replies[:0:0]
+	for _, r := range replies {
+		if r.Valid() {
+			valid = append(valid, r)
+		}
+	}
+	return valid
+}

@@ -1,0 +1,583 @@
+// Package bayes implements the paper's confidence machinery (§5.1):
+// Bayesian inference of the probability of failure on demand (pfd) of Web
+// Service releases.
+//
+// Two inference models are provided.
+//
+// Black box (Fig 6): a single service observed as success/failure per
+// demand. The prior over the pfd is a Beta distribution scaled onto
+// [0, Upper]; the likelihood is binomial. The posterior is computed on a
+// one-dimensional grid (the scaled Beta prior is not conjugate with the
+// truncated-support binomial, so a numeric posterior keeps the model
+// faithful to the paper rather than forcing conjugacy).
+//
+// White box (Table 1, eq. 2-5): two releases A (old) and B (new) run
+// side by side; each demand yields one of four joint outcomes
+// (both fail / A only / B only / neither). The prior is a trivariate
+// distribution over (P_A, P_B, P_AB): independent scaled-Beta marginals
+// for P_A and P_B, and the paper's "indifference" prior
+// P_AB | P_A, P_B ~ Uniform[0, min(P_A, P_B)]. The likelihood is
+// multinomial with cell probabilities
+//
+//	p11 = P_AB, p10 = P_A − P_AB, p01 = P_B − P_AB, p00 = 1 − P_A − P_B + P_AB.
+//
+// The posterior is evaluated on a three-dimensional grid; marginal
+// posteriors for P_A, P_B and P_AB are exposed as discrete distributions
+// from which confidences P(P ≤ T) and percentiles are read (eq. 6).
+//
+// The package also provides the three switch criteria of §5.1.1.2 and the
+// imperfect-detection regimes of §5.1.1.3 (omission oracles and
+// back-to-back testing).
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wsupgrade/internal/stats"
+	"wsupgrade/internal/xrand"
+)
+
+// ErrBadConfig reports an invalid inference configuration.
+var ErrBadConfig = errors.New("bayes: bad configuration")
+
+// JointOutcome is one of the four per-demand events of Table 1.
+type JointOutcome int
+
+// Joint outcomes, in the paper's α, β, γ, δ order.
+const (
+	// BothFail (α): both releases fail on the demand. Probability p11.
+	BothFail JointOutcome = iota + 1
+	// AOnlyFails (β): the old release fails, the new succeeds. p10.
+	AOnlyFails
+	// BOnlyFails (γ): the new release fails, the old succeeds. p01.
+	BOnlyFails
+	// NeitherFails (δ): both releases succeed. p00.
+	NeitherFails
+)
+
+// String implements fmt.Stringer.
+func (o JointOutcome) String() string {
+	switch o {
+	case BothFail:
+		return "both-fail"
+	case AOnlyFails:
+		return "a-only-fails"
+	case BOnlyFails:
+		return "b-only-fails"
+	case NeitherFails:
+		return "neither-fails"
+	default:
+		return fmt.Sprintf("JointOutcome(%d)", int(o))
+	}
+}
+
+// Outcome maps the pair of per-release failure indicators to the joint
+// outcome they represent.
+func Outcome(aFailed, bFailed bool) JointOutcome {
+	switch {
+	case aFailed && bFailed:
+		return BothFail
+	case aFailed:
+		return AOnlyFails
+	case bFailed:
+		return BOnlyFails
+	default:
+		return NeitherFails
+	}
+}
+
+// JointCounts accumulates the observed joint outcomes (r1, r2, r3 and the
+// total N of Table 1; r4 is derived). The zero value is an empty record.
+type JointCounts struct {
+	N     int // demands observed
+	Both  int // r1: both releases failed
+	AOnly int // r2: only the old release failed
+	BOnly int // r3: only the new release failed
+}
+
+// Add records one joint outcome.
+func (c *JointCounts) Add(o JointOutcome) {
+	c.N++
+	switch o {
+	case BothFail:
+		c.Both++
+	case AOnlyFails:
+		c.AOnly++
+	case BOnlyFails:
+		c.BOnly++
+	case NeitherFails:
+		// counted via N only
+	default:
+		panic(fmt.Sprintf("bayes: JointCounts.Add(%d): unknown outcome", int(o)))
+	}
+}
+
+// Neither returns r4 = N − r1 − r2 − r3.
+func (c JointCounts) Neither() int { return c.N - c.Both - c.AOnly - c.BOnly }
+
+// AFailures returns the recorded failures of the old release (r1 + r2).
+func (c JointCounts) AFailures() int { return c.Both + c.AOnly }
+
+// BFailures returns the recorded failures of the new release (r1 + r3).
+func (c JointCounts) BFailures() int { return c.Both + c.BOnly }
+
+// Valid reports whether the counts are internally consistent.
+func (c JointCounts) Valid() bool {
+	return c.N >= 0 && c.Both >= 0 && c.AOnly >= 0 && c.BOnly >= 0 && c.Neither() >= 0
+}
+
+// ---------------------------------------------------------------------------
+// Detection regimes (§5.1.1.3)
+
+// Detector transforms the true per-demand failure indicators of the two
+// releases into the indicators actually recorded by the monitoring
+// subsystem. Imperfect detectors bias the inference; the paper studies
+// omission failures and pessimistic back-to-back testing.
+type Detector interface {
+	// Detect maps true failure indicators to recorded ones.
+	Detect(aFailed, bFailed bool) (recordedA, recordedB bool)
+	// Name identifies the regime in reports.
+	Name() string
+}
+
+// PerfectDetector records failures exactly as they occur.
+type PerfectDetector struct{}
+
+var _ Detector = PerfectDetector{}
+
+// Detect implements Detector.
+func (PerfectDetector) Detect(aFailed, bFailed bool) (bool, bool) { return aFailed, bFailed }
+
+// Name implements Detector.
+func (PerfectDetector) Name() string { return "perfect" }
+
+// OmissionDetector models imperfect per-release oracles: each true failure
+// is independently missed (recorded as success) with probability Pomit.
+// Missed failures make the observations optimistic.
+type OmissionDetector struct {
+	Pomit float64
+	rng   *xrand.Rand
+}
+
+var _ Detector = (*OmissionDetector)(nil)
+
+// NewOmissionDetector returns a detector that misses each failure with
+// probability pomit, drawing from the given stream.
+func NewOmissionDetector(pomit float64, rng *xrand.Rand) (*OmissionDetector, error) {
+	if pomit < 0 || pomit > 1 || math.IsNaN(pomit) {
+		return nil, fmt.Errorf("%w: omission probability %v", ErrBadConfig, pomit)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadConfig)
+	}
+	return &OmissionDetector{Pomit: pomit, rng: rng}, nil
+}
+
+// Detect implements Detector.
+func (d *OmissionDetector) Detect(aFailed, bFailed bool) (bool, bool) {
+	if aFailed && d.rng.Bool(d.Pomit) {
+		aFailed = false
+	}
+	if bFailed && d.rng.Bool(d.Pomit) {
+		bFailed = false
+	}
+	return aFailed, bFailed
+}
+
+// Name implements Detector.
+func (d *OmissionDetector) Name() string { return fmt.Sprintf("omission(p=%.2f)", d.Pomit) }
+
+// BackToBackDetector models detection purely by comparing the two
+// releases' responses, under the paper's pessimistic assumption that all
+// coincident failures are identical and non-evident: a demand on which
+// both releases fail is recorded as a joint success ('11' → '00').
+// Discordant demands are recorded truthfully.
+type BackToBackDetector struct{}
+
+var _ Detector = BackToBackDetector{}
+
+// Detect implements Detector.
+func (BackToBackDetector) Detect(aFailed, bFailed bool) (bool, bool) {
+	if aFailed && bFailed {
+		return false, false
+	}
+	return aFailed, bFailed
+}
+
+// Name implements Detector.
+func (BackToBackDetector) Name() string { return "back-to-back" }
+
+// ---------------------------------------------------------------------------
+// Black-box inference
+
+// BlackBox infers the pfd of a single service from (n, r) success/failure
+// observations under a scaled-Beta prior, on a one-dimensional grid.
+type BlackBox struct {
+	prior stats.ScaledBeta
+	xs    []float64 // support midpoints
+	logPr []float64 // log prior weight per point
+}
+
+// NewBlackBox builds a black-box inference engine with the given prior and
+// grid resolution (number of support points; 400 is a good default).
+func NewBlackBox(prior stats.ScaledBeta, grid int) (*BlackBox, error) {
+	if err := prior.Validate(); err != nil {
+		return nil, fmt.Errorf("bayes: black-box prior: %w", err)
+	}
+	if grid < 2 {
+		return nil, fmt.Errorf("%w: black-box grid %d", ErrBadConfig, grid)
+	}
+	b := &BlackBox{
+		prior: prior,
+		xs:    make([]float64, grid),
+		logPr: make([]float64, grid),
+	}
+	h := prior.Upper / float64(grid)
+	for i := 0; i < grid; i++ {
+		x := (float64(i) + 0.5) * h
+		b.xs[i] = x
+		b.logPr[i] = prior.LogPDF(x) // + log h, constant, cancels in normalization
+	}
+	return b, nil
+}
+
+// Prior returns the prior distribution the engine was built with.
+func (b *BlackBox) Prior() stats.ScaledBeta { return b.prior }
+
+// Posterior returns the posterior pfd distribution after observing r
+// failures in n demands.
+func (b *BlackBox) Posterior(n, r int) (*stats.Grid1D, error) {
+	if n < 0 || r < 0 || r > n {
+		return nil, fmt.Errorf("%w: black-box observation n=%d r=%d", ErrBadConfig, n, r)
+	}
+	g := &stats.Grid1D{
+		Xs: append([]float64(nil), b.xs...),
+		Ws: make([]float64, len(b.xs)),
+	}
+	logs := make([]float64, len(b.xs))
+	maxL := math.Inf(-1)
+	for i, x := range b.xs {
+		ll := b.logPr[i] + float64(r)*math.Log(x) + float64(n-r)*math.Log(1-x)
+		logs[i] = ll
+		if ll > maxL {
+			maxL = ll
+		}
+	}
+	for i, ll := range logs {
+		g.Ws[i] = math.Exp(ll - maxL)
+	}
+	if err := g.Normalize(); err != nil {
+		return nil, fmt.Errorf("bayes: black-box posterior: %w", err)
+	}
+	return g, nil
+}
+
+// ---------------------------------------------------------------------------
+// White-box inference
+
+// WhiteBoxConfig parameterizes the trivariate inference engine.
+type WhiteBoxConfig struct {
+	// PriorA is the prior pfd distribution of the old release.
+	PriorA stats.ScaledBeta
+	// PriorB is the prior pfd distribution of the new release.
+	PriorB stats.ScaledBeta
+	// GridA, GridB are the marginal grid resolutions (default 100).
+	GridA, GridB int
+	// GridC is the resolution of the conditional P_AB grid (default 40).
+	GridC int
+	// GridAB is the bin count of the reported P_AB marginal (default 200).
+	GridAB int
+}
+
+func (c *WhiteBoxConfig) applyDefaults() {
+	if c.GridA == 0 {
+		c.GridA = 100
+	}
+	if c.GridB == 0 {
+		c.GridB = 100
+	}
+	if c.GridC == 0 {
+		c.GridC = 40
+	}
+	if c.GridAB == 0 {
+		c.GridAB = 200
+	}
+}
+
+// WhiteBox is the trivariate inference engine. The expensive parts of the
+// model — the prior weights and the per-cell log outcome probabilities —
+// are precomputed once at construction; each Posterior call then costs one
+// fused pass over the grid, so the engine can be queried at every
+// monitoring checkpoint.
+//
+// A WhiteBox is immutable after construction and safe for concurrent use.
+type WhiteBox struct {
+	cfg WhiteBoxConfig
+
+	paXs, pbXs []float64 // marginal support midpoints
+
+	// Flattened cell arrays of size GridA*GridB*GridC, indexed
+	// (i*GridB + j)*GridC + k.
+	logPrior           []float64
+	l11, l10, l01, l00 []float64
+	pabVals            []float64 // P_AB value at each cell
+}
+
+// NewWhiteBox precomputes the inference grids.
+func NewWhiteBox(cfg WhiteBoxConfig) (*WhiteBox, error) {
+	cfg.applyDefaults()
+	if err := cfg.PriorA.Validate(); err != nil {
+		return nil, fmt.Errorf("bayes: white-box prior A: %w", err)
+	}
+	if err := cfg.PriorB.Validate(); err != nil {
+		return nil, fmt.Errorf("bayes: white-box prior B: %w", err)
+	}
+	if cfg.GridA < 2 || cfg.GridB < 2 || cfg.GridC < 1 || cfg.GridAB < 2 {
+		return nil, fmt.Errorf("%w: white-box grid %d×%d×%d (marginal %d)",
+			ErrBadConfig, cfg.GridA, cfg.GridB, cfg.GridC, cfg.GridAB)
+	}
+	if cfg.PriorA.Upper+cfg.PriorB.Upper >= 1 {
+		return nil, fmt.Errorf("%w: pfd supports sum to %v ≥ 1",
+			ErrBadConfig, cfg.PriorA.Upper+cfg.PriorB.Upper)
+	}
+
+	w := &WhiteBox{cfg: cfg}
+	w.paXs = midpoints(cfg.PriorA.Upper, cfg.GridA)
+	w.pbXs = midpoints(cfg.PriorB.Upper, cfg.GridB)
+
+	cells := cfg.GridA * cfg.GridB * cfg.GridC
+	w.logPrior = make([]float64, cells)
+	w.l11 = make([]float64, cells)
+	w.l10 = make([]float64, cells)
+	w.l01 = make([]float64, cells)
+	w.l00 = make([]float64, cells)
+	w.pabVals = make([]float64, cells)
+
+	logPrA := make([]float64, cfg.GridA)
+	for i, pa := range w.paXs {
+		logPrA[i] = cfg.PriorA.LogPDF(pa)
+	}
+	logPrB := make([]float64, cfg.GridB)
+	for j, pb := range w.pbXs {
+		logPrB[j] = cfg.PriorB.LogPDF(pb)
+	}
+
+	idx := 0
+	for i, pa := range w.paXs {
+		for j, pb := range w.pbXs {
+			m := math.Min(pa, pb)
+			// P_AB | P_A, P_B ~ Uniform[0, m]: each conditional grid
+			// point carries weight 1/GridC; the 1/m density and the m/GridC
+			// cell width cancel, so the conditional weight is uniform and
+			// constant, and drops out of the normalization entirely.
+			lp := logPrA[i] + logPrB[j]
+			for k := 0; k < cfg.GridC; k++ {
+				pab := m * (float64(k) + 0.5) / float64(cfg.GridC)
+				w.pabVals[idx] = pab
+				w.logPrior[idx] = lp
+				w.l11[idx] = math.Log(pab)
+				w.l10[idx] = math.Log(pa - pab)
+				w.l01[idx] = math.Log(pb - pab)
+				w.l00[idx] = math.Log1p(-(pa + pb - pab))
+				idx++
+			}
+		}
+	}
+	return w, nil
+}
+
+// Config returns the configuration the engine was built with.
+func (w *WhiteBox) Config() WhiteBoxConfig { return w.cfg }
+
+func midpoints(upper float64, n int) []float64 {
+	xs := make([]float64, n)
+	h := upper / float64(n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) * h
+	}
+	return xs
+}
+
+// Posterior computes the joint posterior for the given observation and
+// returns its marginals. The call is read-only on the engine and may be
+// made concurrently.
+func (w *WhiteBox) Posterior(c JointCounts) (*Posterior, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("%w: inconsistent counts %+v", ErrBadConfig, c)
+	}
+	r1 := float64(c.Both)
+	r2 := float64(c.AOnly)
+	r3 := float64(c.BOnly)
+	r4 := float64(c.Neither())
+
+	cells := len(w.logPrior)
+	logs := make([]float64, cells)
+	maxL := math.Inf(-1)
+	for idx := 0; idx < cells; idx++ {
+		ll := w.logPrior[idx] + r1*w.l11[idx] + r2*w.l10[idx] + r3*w.l01[idx] + r4*w.l00[idx]
+		logs[idx] = ll
+		if ll > maxL {
+			maxL = ll
+		}
+	}
+	if math.IsInf(maxL, -1) {
+		return nil, fmt.Errorf("%w: posterior has no mass (all cells -Inf)", ErrBadConfig)
+	}
+
+	nA, nB, nC := w.cfg.GridA, w.cfg.GridB, w.cfg.GridC
+	wsA := make([]float64, nA)
+	wsB := make([]float64, nB)
+	abUpper := math.Min(w.cfg.PriorA.Upper, w.cfg.PriorB.Upper)
+	nAB := w.cfg.GridAB
+	wsAB := make([]float64, nAB)
+	var total stats.KahanSum
+
+	idx := 0
+	for i := 0; i < nA; i++ {
+		for j := 0; j < nB; j++ {
+			for k := 0; k < nC; k++ {
+				p := math.Exp(logs[idx] - maxL)
+				if p > 0 {
+					wsA[i] += p
+					wsB[j] += p
+					bin := int(float64(nAB) * w.pabVals[idx] / abUpper)
+					if bin >= nAB {
+						bin = nAB - 1
+					}
+					wsAB[bin] += p
+					total.Add(p)
+				}
+				idx++
+			}
+		}
+	}
+	t := total.Sum()
+	if t <= 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+		return nil, fmt.Errorf("%w: posterior mass %v", ErrBadConfig, t)
+	}
+	for i := range wsA {
+		wsA[i] /= t
+	}
+	for j := range wsB {
+		wsB[j] /= t
+	}
+	for b := range wsAB {
+		wsAB[b] /= t
+	}
+
+	post := &Posterior{
+		Counts: c,
+		A:      &stats.Grid1D{Xs: append([]float64(nil), w.paXs...), Ws: wsA},
+		B:      &stats.Grid1D{Xs: append([]float64(nil), w.pbXs...), Ws: wsB},
+		AB:     &stats.Grid1D{Xs: midpoints(abUpper, nAB), Ws: wsAB},
+	}
+	return post, nil
+}
+
+// Posterior carries the marginal posterior distributions of the white-box
+// model after an observation.
+type Posterior struct {
+	// Counts is the observation the posterior conditions on.
+	Counts JointCounts
+	// A is the marginal posterior of P_A (old release pfd).
+	A *stats.Grid1D
+	// B is the marginal posterior of P_B (new release pfd).
+	B *stats.Grid1D
+	// AB is the (binned) marginal posterior of P_AB (coincident failure).
+	AB *stats.Grid1D
+}
+
+// ConfidenceA returns P(P_A ≤ target | observations), eq. 6.
+func (p *Posterior) ConfidenceA(target float64) float64 { return p.A.CDF(target) }
+
+// ConfidenceB returns P(P_B ≤ target | observations).
+func (p *Posterior) ConfidenceB(target float64) float64 { return p.B.CDF(target) }
+
+// ConfidenceAB returns P(P_AB ≤ target | observations).
+func (p *Posterior) ConfidenceAB(target float64) float64 { return p.AB.CDF(target) }
+
+// PercentileA returns T_A^conf: the smallest t with P(P_A ≤ t) ≥ conf.
+func (p *Posterior) PercentileA(conf float64) float64 { return p.A.Quantile(conf) }
+
+// PercentileB returns T_B^conf.
+func (p *Posterior) PercentileB(conf float64) float64 { return p.B.Quantile(conf) }
+
+// ---------------------------------------------------------------------------
+// Switch criteria (§5.1.1.2)
+
+// Criterion decides, from the current posterior, whether the managed
+// upgrade may switch the composite service to the new release.
+type Criterion interface {
+	// Satisfied reports whether the switch condition holds.
+	Satisfied(p *Posterior) bool
+	// Name identifies the criterion in reports.
+	Name() string
+}
+
+// Criterion1 switches when the new release reaches the dependability level
+// the old release offered at deployment time: if the prior gave
+// P(P_A ≤ X) = conf, the upgrade lasts until P(P_B ≤ X) ≥ conf.
+type Criterion1 struct {
+	Confidence float64
+	// Target is X: the prior conf-percentile of the old release.
+	Target float64
+}
+
+var _ Criterion = Criterion1{}
+
+// NewCriterion1 derives the target X from the old release's prior at the
+// given confidence level.
+func NewCriterion1(priorA stats.ScaledBeta, confidence float64) (Criterion1, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return Criterion1{}, fmt.Errorf("%w: criterion 1 confidence %v", ErrBadConfig, confidence)
+	}
+	x, err := priorA.Quantile(confidence)
+	if err != nil {
+		return Criterion1{}, fmt.Errorf("bayes: criterion 1 target: %w", err)
+	}
+	return Criterion1{Confidence: confidence, Target: x}, nil
+}
+
+// Satisfied implements Criterion.
+func (c Criterion1) Satisfied(p *Posterior) bool {
+	return p.ConfidenceB(c.Target) >= c.Confidence
+}
+
+// Name implements Criterion.
+func (c Criterion1) Name() string { return "criterion-1" }
+
+// Criterion2 switches when the new release reaches a predefined
+// dependability target with a predefined confidence, e.g.
+// P(P_B ≤ 10⁻³) ≥ 99%. The old release is irrelevant.
+type Criterion2 struct {
+	Confidence float64
+	Target     float64
+}
+
+var _ Criterion = Criterion2{}
+
+// Satisfied implements Criterion.
+func (c Criterion2) Satisfied(p *Posterior) bool {
+	return p.ConfidenceB(c.Target) >= c.Confidence
+}
+
+// Name implements Criterion.
+func (c Criterion2) Name() string { return "criterion-2" }
+
+// Criterion3 switches when, at the given confidence, the new release is no
+// worse than the old: T_B^conf ≤ T_A^conf on the evolving posteriors.
+type Criterion3 struct {
+	Confidence float64
+}
+
+var _ Criterion = Criterion3{}
+
+// Satisfied implements Criterion.
+func (c Criterion3) Satisfied(p *Posterior) bool {
+	return p.PercentileB(c.Confidence) <= p.PercentileA(c.Confidence)
+}
+
+// Name implements Criterion.
+func (c Criterion3) Name() string { return "criterion-3" }

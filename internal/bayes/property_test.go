@@ -1,0 +1,164 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsupgrade/internal/xrand"
+)
+
+// Property: for any consistent observation record, the posterior
+// marginals are proper distributions and the confidences behave like
+// CDFs.
+func TestPosteriorIsProperDistributionProperty(t *testing.T) {
+	w := smallWhiteBox(t)
+	cfg := &quick.Config{MaxCount: 25, Rand: nil}
+	f := func(n uint16, both, aOnly, bOnly uint8) bool {
+		c := JointCounts{
+			N:     int(n) + int(both) + int(aOnly) + int(bOnly),
+			Both:  int(both),
+			AOnly: int(aOnly),
+			BOnly: int(bOnly),
+		}
+		post, err := w.Posterior(c)
+		if err != nil {
+			return false
+		}
+		for _, g := range []interface{ CDF(float64) float64 }{post.A, post.B, post.AB} {
+			if g.CDF(1) < 1-1e-9 {
+				return false
+			}
+			if g.CDF(-1) != 0 {
+				return false
+			}
+		}
+		// Percentile/confidence inversion.
+		for _, conf := range []float64{0.5, 0.9, 0.99} {
+			if post.ConfidenceB(post.PercentileB(conf)) < conf-1e-9 {
+				return false
+			}
+			if post.ConfidenceA(post.PercentileA(conf)) < conf-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extra failures of the new release can only reduce the
+// confidence that it meets a fixed target.
+func TestMoreBFailuresLowerConfidenceProperty(t *testing.T) {
+	w := smallWhiteBox(t)
+	const n = 30000
+	const target = 1e-3
+	prev := math.Inf(1)
+	for bOnly := 0; bOnly <= 60; bOnly += 10 {
+		post, err := w.Posterior(JointCounts{N: n, BOnly: bOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf := post.ConfidenceB(target)
+		if conf > prev+1e-9 {
+			t.Fatalf("confidence rose with more failures: %v -> %v at bOnly=%d", prev, conf, bOnly)
+		}
+		prev = conf
+	}
+}
+
+// Property: more failure-free demands can only increase the confidence.
+func TestMoreCleanDemandsRaiseConfidenceProperty(t *testing.T) {
+	w := smallWhiteBox(t)
+	const target = 1e-3
+	prev := -1.0
+	for n := 0; n <= 50000; n += 10000 {
+		post, err := w.Posterior(JointCounts{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf := post.ConfidenceB(target)
+		if conf < prev-1e-9 {
+			t.Fatalf("confidence fell with more clean demands: %v -> %v at n=%d", prev, conf, n)
+		}
+		prev = conf
+	}
+}
+
+// Property: detectors never invent failures, and the omission detector
+// only ever removes them.
+func TestDetectorSafetyProperty(t *testing.T) {
+	rng := xrand.New(99)
+	om, err := NewOmissionDetector(0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := []Detector{PerfectDetector{}, om, BackToBackDetector{}}
+	f := func(a, b bool) bool {
+		for _, d := range dets {
+			ra, rb := d.Detect(a, b)
+			if ra && !a {
+				return false // invented a failure of A
+			}
+			if rb && !b {
+				return false // invented a failure of B
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the joint counts stay consistent under any outcome sequence.
+func TestJointCountsConsistencyProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		var c JointCounts
+		for _, v := range seq {
+			c.Add(JointOutcome(int(v%4) + 1))
+		}
+		return c.Valid() &&
+			c.AFailures() <= c.N && c.BFailures() <= c.N &&
+			c.Neither()+c.Both+c.AOnly+c.BOnly == c.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The white-box marginal for A must agree with a black-box inference on
+// the same prior when the demands are plentiful and B never fails —
+// the coupling through P_AB vanishes in the small-pfd limit.
+func TestWhiteBoxMatchesBlackBoxInLimit(t *testing.T) {
+	pa, pb := scenario1Priors()
+	w, err := NewWhiteBox(WhiteBoxConfig{PriorA: pa, PriorB: pb, GridA: 100, GridB: 40, GridC: 16, GridAB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := NewBlackBox(pa, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, aFails = 40000, 45
+	wPost, err := w.Posterior(JointCounts{N: n, AOnly: aFails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPost, err := bb.Posterior(n, aFails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMean := wPost.A.Mean()
+	bMean := bPost.Mean()
+	if math.Abs(wMean-bMean)/bMean > 0.05 {
+		t.Fatalf("white-box A mean %v deviates from black-box %v", wMean, bMean)
+	}
+	w99 := wPost.PercentileA(0.99)
+	b99 := bPost.Quantile(0.99)
+	if math.Abs(w99-b99)/b99 > 0.05 {
+		t.Fatalf("white-box A p99 %v deviates from black-box %v", w99, b99)
+	}
+}

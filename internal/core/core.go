@@ -1,0 +1,1286 @@
+// Package core is the paper's primary contribution: the middleware for
+// dependable online upgrade of a Web Service (§4).
+//
+// The Engine sits behind the service's published WSDL interface and keeps
+// several releases of the service operational at once. For every consumer
+// request it:
+//
+//  1. intercepts the SOAP message and fans it out to the deployed
+//     releases (all of them, a quorum, or sequentially — the §4.2
+//     operating modes);
+//  2. collects the responses within a timeout, classifying faults,
+//     timeouts and transport errors as evident failures;
+//  3. adjudicates a response for the consumer (§5.2.1 rules by default,
+//     majority or fastest-valid as alternatives);
+//  4. hands every release's behaviour to the monitoring subsystem
+//     (§4.3): availability, execution time, judged correctness, and the
+//     pairwise (old, new) outcome of Table 1;
+//  5. lets the management subsystem (§4.4) evaluate the switch policy —
+//     a Bayesian confidence criterion over the accumulated observations —
+//     and advance the upgrade lifecycle when the new release has earned
+//     enough confidence.
+//
+// The lifecycle phases follow §3.3/§4.2: OldOnly (new release deployed
+// but unused) → Observation (both run back-to-back, the old release's
+// response is delivered) → Parallel (adjudicated 1-out-of-2 delivery) →
+// NewOnly (switched). Releases can be added and removed online.
+//
+// The engine also implements the §6.2 confidence-publishing mechanisms:
+// a dedicated OperationConf operation, backward-compatible "<op>Conf"
+// variants, and per-response confidence headers, plus registry
+// publication helpers.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wsupgrade/internal/adjudicate"
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/monitor"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/registry"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/stats"
+	"wsupgrade/internal/wsdl"
+	"wsupgrade/internal/xrand"
+)
+
+// Errors reported by the engine.
+var (
+	// ErrBadConfig reports an invalid engine configuration.
+	ErrBadConfig = errors.New("core: bad configuration")
+	// ErrBadPhase reports an impossible phase transition.
+	ErrBadPhase = errors.New("core: bad phase")
+	// ErrUnknownRelease reports an operation on an undeployed release.
+	ErrUnknownRelease = errors.New("core: unknown release")
+	// ErrNoInference reports a confidence query on an engine built
+	// without an inference configuration.
+	ErrNoInference = errors.New("core: no inference engine configured")
+)
+
+// Endpoint identifies one deployed release of the upgraded service.
+type Endpoint struct {
+	// Version is the release's version string (releases must be
+	// distinguishable, §3.2).
+	Version string
+	// URL is the release's SOAP endpoint.
+	URL string
+}
+
+// Phase is the upgrade lifecycle state (§3.3, §4.2).
+type Phase int
+
+const (
+	// PhaseOldOnly: only the oldest release serves; newer releases are
+	// deployed but not invoked.
+	PhaseOldOnly Phase = iota + 1
+	// PhaseObservation: all releases are invoked back-to-back; the old
+	// release's response is delivered (§3.1's transitional period).
+	PhaseObservation
+	// PhaseParallel: all releases are invoked and the adjudicated
+	// response is delivered (1-out-of-2 fault tolerance, §4.2 mode 1).
+	PhaseParallel
+	// PhaseNewOnly: only the newest release is invoked — the switch has
+	// happened.
+	PhaseNewOnly
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseOldOnly:
+		return "old-only"
+	case PhaseObservation:
+		return "observation"
+	case PhaseParallel:
+		return "parallel"
+	case PhaseNewOnly:
+		return "new-only"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Mode is the fan-out strategy while several releases are invoked (§4.2).
+type Mode int
+
+const (
+	// ModeReliability waits for all releases (bounded by Timeout) and
+	// adjudicates everything collected — §4.2 mode 1.
+	ModeReliability Mode = iota + 1
+	// ModeResponsiveness delivers the first valid response — mode 2.
+	ModeResponsiveness
+	// ModeDynamic delivers after Quorum responses arrive — mode 3.
+	ModeDynamic
+	// ModeSequential invokes releases one at a time, moving on only
+	// after an evident failure — mode 4.
+	ModeSequential
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeReliability:
+		return "parallel-reliability"
+	case ModeResponsiveness:
+		return "parallel-responsiveness"
+	case ModeDynamic:
+		return "parallel-dynamic"
+	case ModeSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// PolicyConfig is the management subsystem's automatic switch rule
+// (§5.1.1.2): when Criterion is satisfied on the posterior, the engine
+// advances to PhaseNewOnly.
+type PolicyConfig struct {
+	// Criterion decides the switch.
+	Criterion bayes.Criterion
+	// CheckEvery evaluates the criterion every N joint observations
+	// (default 50).
+	CheckEvery int
+	// MinDemands suppresses switching before this many joint
+	// observations (default CheckEvery).
+	MinDemands int
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Releases lists the deployed releases, oldest first. At least one.
+	Releases []Endpoint
+	// Timeout bounds each fan-out (default 2 s).
+	Timeout time.Duration
+	// Mode selects the fan-out strategy (default ModeReliability).
+	Mode Mode
+	// Quorum is ModeDynamic's response count (default 1).
+	Quorum int
+	// Adjudicator picks the delivered response in PhaseParallel
+	// (default adjudicate.RandomValid, the paper's §5.2.1 rules).
+	Adjudicator adjudicate.Adjudicator
+	// Oracle judges response correctness for monitoring (default
+	// oracle.FaultOnly: evident failures only).
+	Oracle oracle.Oracle
+	// InitialPhase is the starting lifecycle state (default
+	// PhaseParallel; PhaseOldOnly and PhaseObservation need ≥2
+	// releases).
+	InitialPhase Phase
+	// Policy enables automatic switching; nil means manual only.
+	Policy *PolicyConfig
+	// Inference configures the white-box confidence engine over the
+	// (oldest, newest) release pair. Required when Policy is set or
+	// confidence is published.
+	Inference *bayes.WhiteBoxConfig
+	// ConfidenceTarget is the pfd target T of the published confidence
+	// P(pfd ≤ T) (default 1e-2).
+	ConfidenceTarget float64
+	// Retry tolerates transient transport failures per release call
+	// (default httpx.NoRetry).
+	Retry httpx.RetryPolicy
+	// PublishHeader attaches a confidence header to every response
+	// (§6.2's protocol-handler mechanism).
+	PublishHeader bool
+	// EnableConfOps serves OperationConf and "<op>Conf" variants (§6.2
+	// options 2 and 3).
+	EnableConfOps bool
+	// Contract optionally describes the proxied service; when set, the
+	// engine serves the §6.2-extended WSDL at /wsdl.
+	Contract *wsdl.Contract
+	// Monitor overrides the monitoring subsystem (default monitor.New()).
+	Monitor *monitor.Monitor
+	// HTTP overrides the transport (default: client with Timeout).
+	HTTP *http.Client
+	// Seed drives adjudication tie-breaking.
+	Seed uint64
+	// Store streams the event log as JSONL (the architecture's
+	// "Data Base"); nil disables.
+	Store io.Writer
+}
+
+// Engine is the managed-upgrade middleware. It implements http.Handler
+// (the SOAP endpoint); Handler() adds /wsdl and /healthz.
+// Construct with New; call Close to drain background monitoring work.
+type Engine struct {
+	cfg       Config
+	client    *http.Client
+	adjudic   adjudicate.Adjudicator
+	oracle    oracle.Oracle
+	mon       *monitor.Monitor
+	inference *bayes.WhiteBox
+
+	mu         sync.Mutex
+	releases   []Endpoint
+	down       map[string]bool // releases marked unavailable by health checks
+	phase      Phase
+	mode       Mode
+	quorum     int
+	timeout    time.Duration
+	rng        *xrand.Rand
+	switchedAt int // joint demands when auto-switch fired; 0 = not yet
+
+	policyMu sync.Mutex // serializes posterior evaluation
+
+	wg sync.WaitGroup
+}
+
+var _ http.Handler = (*Engine)(nil)
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Releases) == 0 {
+		return nil, fmt.Errorf("%w: no releases", ErrBadConfig)
+	}
+	seen := map[string]bool{}
+	for _, r := range cfg.Releases {
+		if r.Version == "" || r.URL == "" {
+			return nil, fmt.Errorf("%w: release needs version and URL: %+v", ErrBadConfig, r)
+		}
+		if seen[r.Version] {
+			return nil, fmt.Errorf("%w: duplicate release %q", ErrBadConfig, r.Version)
+		}
+		seen[r.Version] = true
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Timeout < 0 {
+		return nil, fmt.Errorf("%w: negative timeout", ErrBadConfig)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeReliability
+	}
+	switch cfg.Mode {
+	case ModeReliability, ModeResponsiveness, ModeSequential:
+	case ModeDynamic:
+		if cfg.Quorum == 0 {
+			cfg.Quorum = 1
+		}
+		if cfg.Quorum < 1 || cfg.Quorum > len(cfg.Releases) {
+			return nil, fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, cfg.Quorum, len(cfg.Releases))
+		}
+	default:
+		return nil, fmt.Errorf("%w: mode %v", ErrBadConfig, cfg.Mode)
+	}
+	if cfg.InitialPhase == 0 {
+		cfg.InitialPhase = PhaseParallel
+	}
+	if err := validatePhase(cfg.InitialPhase, len(cfg.Releases)); err != nil {
+		return nil, err
+	}
+	if cfg.Adjudicator == nil {
+		cfg.Adjudicator = adjudicate.RandomValid{}
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = oracle.FaultOnly{}
+	}
+	if cfg.ConfidenceTarget == 0 {
+		cfg.ConfidenceTarget = 1e-2
+	}
+	if cfg.ConfidenceTarget < 0 || cfg.ConfidenceTarget > 1 {
+		return nil, fmt.Errorf("%w: confidence target %v", ErrBadConfig, cfg.ConfidenceTarget)
+	}
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry = httpx.NoRetry
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Policy != nil {
+		if cfg.Policy.Criterion == nil {
+			return nil, fmt.Errorf("%w: policy without criterion", ErrBadConfig)
+		}
+		if cfg.Policy.CheckEvery == 0 {
+			cfg.Policy.CheckEvery = 50
+		}
+		if cfg.Policy.CheckEvery < 1 {
+			return nil, fmt.Errorf("%w: policy check interval %d", ErrBadConfig, cfg.Policy.CheckEvery)
+		}
+		if cfg.Policy.MinDemands == 0 {
+			cfg.Policy.MinDemands = cfg.Policy.CheckEvery
+		}
+		if cfg.Inference == nil {
+			return nil, fmt.Errorf("%w: policy requires an inference configuration", ErrBadConfig)
+		}
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		adjudic:  cfg.Adjudicator,
+		oracle:   cfg.Oracle,
+		releases: append([]Endpoint(nil), cfg.Releases...),
+		down:     make(map[string]bool),
+		phase:    cfg.InitialPhase,
+		mode:     cfg.Mode,
+		quorum:   cfg.Quorum,
+		timeout:  cfg.Timeout,
+		rng:      xrand.New(cfg.Seed),
+	}
+	if cfg.HTTP != nil {
+		e.client = cfg.HTTP
+	} else {
+		e.client = httpx.NewClient(cfg.Timeout + 500*time.Millisecond)
+	}
+	if cfg.Monitor != nil {
+		e.mon = cfg.Monitor
+	} else {
+		opts := []monitor.Option{}
+		if cfg.Store != nil {
+			opts = append(opts, monitor.WithSink(cfg.Store))
+		}
+		e.mon = monitor.New(opts...)
+	}
+	if cfg.Inference != nil {
+		wb, err := bayes.NewWhiteBox(*cfg.Inference)
+		if err != nil {
+			return nil, fmt.Errorf("core: building inference engine: %w", err)
+		}
+		e.inference = wb
+	}
+	return e, nil
+}
+
+func validatePhase(p Phase, releases int) error {
+	switch p {
+	case PhaseOldOnly, PhaseNewOnly:
+		return nil
+	case PhaseObservation, PhaseParallel:
+		if releases < 2 {
+			return fmt.Errorf("%w: %v needs at least two releases", ErrBadPhase, p)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %v", ErrBadPhase, p)
+	}
+}
+
+// Close waits for background monitoring work to finish (bounded by the
+// call timeout). The engine must not serve new requests afterwards.
+func (e *Engine) Close() error {
+	e.wg.Wait()
+	return nil
+}
+
+// Monitor exposes the monitoring subsystem.
+func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
+
+// Phase returns the current lifecycle phase.
+func (e *Engine) Phase() Phase {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.phase
+}
+
+// SetPhase transitions the lifecycle manually.
+func (e *Engine) SetPhase(p Phase) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := validatePhase(p, len(e.releases)); err != nil {
+		return err
+	}
+	e.phase = p
+	return nil
+}
+
+// SwitchedAt reports the joint-demand count at which the automatic policy
+// switched to the new release (0, false if it has not).
+func (e *Engine) SwitchedAt() (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.switchedAt, e.switchedAt > 0
+}
+
+// Releases returns the deployed releases, oldest first.
+func (e *Engine) Releases() []Endpoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Endpoint(nil), e.releases...)
+}
+
+// AddRelease deploys a release online; it becomes the newest.
+func (e *Engine) AddRelease(ep Endpoint) error {
+	if ep.Version == "" || ep.URL == "" {
+		return fmt.Errorf("%w: release needs version and URL", ErrBadConfig)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.releases {
+		if r.Version == ep.Version {
+			return fmt.Errorf("%w: duplicate release %q", ErrBadConfig, ep.Version)
+		}
+	}
+	e.releases = append(e.releases, ep)
+	return nil
+}
+
+// RemoveRelease phases a release out online. The last release cannot be
+// removed, and removing below two releases forces PhaseNewOnly.
+func (e *Engine) RemoveRelease(version string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx := -1
+	for i, r := range e.releases {
+		if r.Version == version {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %q", ErrUnknownRelease, version)
+	}
+	if len(e.releases) == 1 {
+		return fmt.Errorf("%w: cannot remove the only release", ErrBadPhase)
+	}
+	e.releases = append(e.releases[:idx], e.releases[idx+1:]...)
+	if len(e.releases) < 2 && (e.phase == PhaseObservation || e.phase == PhaseParallel) {
+		e.phase = PhaseNewOnly
+	}
+	return nil
+}
+
+// snapshot returns the state a request handler works with.
+func (e *Engine) snapshot() ([]Endpoint, Phase) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Endpoint(nil), e.releases...), e.phase
+}
+
+// dispatchState atomically reads everything one fan-out needs.
+func (e *Engine) dispatchState() ([]Endpoint, Phase, Mode, int, time.Duration, map[string]bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var down map[string]bool
+	if len(e.down) > 0 {
+		down = make(map[string]bool, len(e.down))
+		for k, v := range e.down {
+			if v {
+				down[k] = true
+			}
+		}
+	}
+	return append([]Endpoint(nil), e.releases...), e.phase, e.mode, e.quorum, e.timeout, down
+}
+
+// Mode returns the current fan-out mode.
+func (e *Engine) Mode() Mode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mode
+}
+
+// SetMode reconfigures the fan-out mode online — §4.2's "the number of
+// responses and the timeout can be changed dynamically". quorum applies
+// to ModeDynamic and is ignored otherwise.
+func (e *Engine) SetMode(mode Mode, quorum int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch mode {
+	case ModeReliability, ModeResponsiveness, ModeSequential:
+	case ModeDynamic:
+		if quorum == 0 {
+			quorum = 1
+		}
+		if quorum < 1 || quorum > len(e.releases) {
+			return fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, quorum, len(e.releases))
+		}
+	default:
+		return fmt.Errorf("%w: mode %v", ErrBadConfig, mode)
+	}
+	e.mode = mode
+	if mode == ModeDynamic {
+		e.quorum = quorum
+	}
+	return nil
+}
+
+// Timeout returns the current fan-out deadline.
+func (e *Engine) Timeout() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.timeout
+}
+
+// SetTimeout reconfigures the fan-out deadline online.
+func (e *Engine) SetTimeout(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("%w: timeout %v", ErrBadConfig, d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.timeout = d
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Health checking and recovery (§4.1's management subsystem)
+
+// Health reports one release's probe outcome.
+type Health struct {
+	Release string
+	URL     string
+	Up      bool
+	Err     error
+}
+
+// CheckHealth probes every deployed release's /healthz endpoint, updates
+// the engine's availability marks (a release marked down is skipped by
+// fan-outs until it recovers), and returns the probe results.
+func (e *Engine) CheckHealth(ctx context.Context) []Health {
+	releases, _ := e.snapshot()
+	results := make([]Health, len(releases))
+	var wg sync.WaitGroup
+	for i, rel := range releases {
+		i, rel := i, rel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = e.probe(ctx, rel)
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, h := range results {
+		e.down[h.Release] = !h.Up
+	}
+	return results
+}
+
+func (e *Engine) probe(ctx context.Context, rel Endpoint) Health {
+	h := Health{Release: rel.Version, URL: rel.URL}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rel.URL+"/healthz", nil)
+	if err != nil {
+		h.Err = err
+		return h
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		h.Err = err
+		return h
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		h.Err = fmt.Errorf("core: health probe of %s: HTTP %d", rel.Version, resp.StatusCode)
+		return h
+	}
+	h.Up = true
+	return h
+}
+
+// Down reports whether a release is currently marked unavailable.
+func (e *Engine) Down(version string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down[version]
+}
+
+// StartHealthChecks runs CheckHealth every interval until the returned
+// stop function is called. The loop is owned: stop blocks until the
+// prober goroutine has exited.
+func (e *Engine) StartHealthChecks(interval time.Duration) (stop func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("%w: health-check interval %v", ErrBadConfig, interval)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				e.CheckHealth(ctx)
+				cancel()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+
+// Handler returns the full HTTP surface: the SOAP endpoint at "/", the
+// extended WSDL at "/wsdl" and a liveness probe at "/healthz".
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", e)
+	mux.HandleFunc("/wsdl", e.serveWSDL)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func (e *Engine) serveWSDL(w http.ResponseWriter, r *http.Request) {
+	if e.cfg.Contract == nil {
+		http.Error(w, "no contract configured", http.StatusNotFound)
+		return
+	}
+	contract := *e.cfg.Contract
+	if e.cfg.EnableConfOps {
+		contract = contract.WithConfidenceOperation()
+		for _, op := range e.cfg.Contract.Operations {
+			extended, err := contract.WithConfVariant(op.Name)
+			if err == nil {
+				contract = extended
+			}
+		}
+	}
+	def, err := wsdl.Generate(contract, "http://"+r.Host+"/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := def.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+// AdjudicatorHeader lets a consumer select the adjudication mechanism for
+// its own requests (§6.1: "users can explicitly specify the adjudication
+// mechanism they would like applied to their own requests"). Valid
+// values: "random-valid", "majority", "fastest-valid". Unknown values are
+// ignored in favour of the engine default.
+const AdjudicatorHeader = "X-Wsupgrade-Adjudicator"
+
+// ServeHTTP intercepts one consumer request.
+func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+	if err != nil {
+		e.writeFault(w, soap.ClientFault(fmt.Sprintf("reading request: %v", err)), "")
+		return
+	}
+	parsed, err := soap.Parse(data)
+	if err != nil {
+		e.writeFault(w, soap.ClientFault(err.Error()), "")
+		return
+	}
+	opElement := parsed.Operation.Local
+	operation := strings.TrimSuffix(opElement, "Request")
+
+	if e.cfg.EnableConfOps && opElement == wsdl.ConfOperationName+"Request" {
+		e.serveConfidenceQuery(w, parsed)
+		return
+	}
+	if e.cfg.EnableConfOps && strings.HasSuffix(operation, "Conf") && operation != wsdl.ConfOperationName {
+		e.serveConfVariant(w, r, parsed, strings.TrimSuffix(operation, "Conf"))
+		return
+	}
+	e.proxy(w, r, data, operation)
+}
+
+// requestAdjudicator honours the consumer's per-request adjudicator
+// choice, falling back to the engine default.
+func requestAdjudicator(r *http.Request, fallback adjudicate.Adjudicator) adjudicate.Adjudicator {
+	if r == nil {
+		return fallback
+	}
+	switch r.Header.Get(AdjudicatorHeader) {
+	case "random-valid":
+		return adjudicate.RandomValid{}
+	case "majority":
+		return adjudicate.Majority{}
+	case "fastest-valid":
+		return adjudicate.FastestValid{}
+	default:
+		return fallback
+	}
+}
+
+// proxy is the main interception path.
+func (e *Engine) proxy(w http.ResponseWriter, r *http.Request, envelope []byte, operation string) {
+	winner, adjErr := e.dispatch(r.Context(), envelope, operation, requestAdjudicator(r, e.adjudic))
+	e.respond(w, operation, winner, adjErr)
+}
+
+// respond writes the adjudicated outcome to the consumer.
+func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudicate.Reply, adjErr error) {
+	if adjErr != nil {
+		var f *soap.Fault
+		if !errors.As(adjErr, &f) {
+			switch {
+			case errors.Is(adjErr, adjudicate.ErrNoResponses):
+				f = soap.ServerFault("Web Service unavailable")
+			default:
+				f = soap.ServerFault(adjErr.Error())
+			}
+		}
+		e.writeFault(w, f, operation)
+		return
+	}
+	var headers []soap.HeaderItem
+	if e.cfg.PublishHeader {
+		if conf, err := e.publishedConfidence(operation); err == nil {
+			headers = append(headers, confidenceHeader(operation, conf))
+		}
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	if winner.Release != "" {
+		w.Header().Set("X-Wsupgrade-Winner", winner.Release)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(soap.EnvelopeRaw(winner.Body, headers...))
+}
+
+func (e *Engine) writeFault(w http.ResponseWriter, f *soap.Fault, operation string) {
+	w.Header().Set("Content-Type", soap.ContentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(soap.FaultEnvelope(f))
+}
+
+// dispatch fans the request out per the current phase and mode, returns
+// the delivered reply (or adjudication error), and hands monitoring and
+// policy work to the background when delivery should not wait for it.
+func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string, adj adjudicate.Adjudicator) (adjudicate.Reply, error) {
+	if adj == nil {
+		adj = e.adjudic
+	}
+	releases, phase, mode, quorum, timeout, down := e.dispatchState()
+	oldest, newest := releases[0], releases[len(releases)-1]
+
+	var targets []Endpoint
+	switch phase {
+	case PhaseOldOnly:
+		targets = []Endpoint{oldest}
+	case PhaseNewOnly:
+		targets = []Endpoint{newest}
+	default:
+		targets = releases
+	}
+	// Health-checked releases marked down are skipped (the management
+	// subsystem's recovery handling, §4.1) — unless that would leave no
+	// targets, in which case the calls proceed and fail honestly.
+	if len(down) > 0 {
+		up := targets[:0:0]
+		for _, t := range targets {
+			if !down[t.Version] {
+				up = append(up, t)
+			}
+		}
+		if len(up) > 0 {
+			targets = up
+		}
+	}
+
+	deliverFrom := func(collected []adjudicate.Reply) (adjudicate.Reply, error) {
+		rule := e.deliveryAdjudicator(phase, oldest, newest, adj)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return rule.Adjudicate(collected, e.rng)
+	}
+
+	// Release calls are bounded by the engine timeout rather than the
+	// consumer's request context: when a mode delivers early, the
+	// remaining responses are still collected for the monitoring
+	// subsystem after the consumer has gone.
+	_ = ctx
+	callCtx, cancel := context.WithTimeout(context.Background(), timeout)
+
+	if mode == ModeSequential && phase != PhaseOldOnly && phase != PhaseNewOnly {
+		defer cancel()
+		return e.dispatchSequential(callCtx, targets, envelope, operation, deliverFrom)
+	}
+
+	type indexed struct {
+		i int
+		r adjudicate.Reply
+	}
+	ch := make(chan indexed, len(targets))
+	for i, t := range targets {
+		i, t := i, t
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			ch <- indexed{i, e.callRelease(callCtx, t, operation, envelope)}
+		}()
+	}
+
+	replies := make([]adjudicate.Reply, len(targets))
+	received := 0
+	collectOne := func() {
+		in := <-ch
+		replies[in.i] = in.r
+		received++
+	}
+
+	// How many replies must arrive before delivery.
+	need := len(targets)
+	switch mode {
+	case ModeDynamic:
+		if quorum < need {
+			need = quorum
+		}
+	case ModeResponsiveness:
+		need = 1
+	}
+
+	for received < need {
+		collectOne()
+	}
+	if mode == ModeResponsiveness {
+		// Keep collecting until a valid reply arrives or all are in.
+		for !anyValid(replies) && received < len(targets) {
+			collectOne()
+		}
+	}
+
+	// Only actual responses are adjudicated: a SOAP fault is a collected
+	// (evidently incorrect) response, while a timeout or transport error
+	// means nothing was collected from that release (§5.2.1).
+	collected := make([]adjudicate.Reply, 0, received)
+	for _, r := range replies {
+		if r.Release != "" && responded(r) {
+			collected = append(collected, r)
+		}
+	}
+	winner, adjErr := deliverFrom(collected)
+
+	if received == len(targets) {
+		cancel()
+		e.record(operation, targets, replies, winner, oldest, newest)
+		return winner, adjErr
+	}
+	// Delivery happened early; finish collecting in the background so
+	// the monitoring subsystem still sees every release's behaviour.
+	// Collection is bounded by the call timeout, so Close never waits
+	// longer than that.
+	remaining := len(targets) - received
+	partial := replies
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer cancel()
+		for i := 0; i < remaining; i++ {
+			in := <-ch
+			partial[in.i] = in.r
+		}
+		e.record(operation, targets, partial, winner, oldest, newest)
+	}()
+	return winner, adjErr
+}
+
+// responded reports whether an exchange produced an application-level
+// response (a SOAP fault counts; a timeout or transport error does not).
+func responded(r adjudicate.Reply) bool {
+	return r.Valid() || isFault(r.Err)
+}
+
+func anyValid(replies []adjudicate.Reply) bool {
+	for _, r := range replies {
+		if r.Release != "" && r.Valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchSequential implements §4.2 mode 4: releases execute one at a
+// time; the next is invoked only on an evident failure of the previous.
+func (e *Engine) dispatchSequential(ctx context.Context, targets []Endpoint, envelope []byte,
+	operation string, deliver func([]adjudicate.Reply) (adjudicate.Reply, error)) (adjudicate.Reply, error) {
+	called := make([]adjudicate.Reply, 0, len(targets))
+	calledEps := make([]Endpoint, 0, len(targets))
+	for _, t := range targets {
+		r := e.callRelease(ctx, t, operation, envelope)
+		called = append(called, r)
+		calledEps = append(calledEps, t)
+		if r.Valid() {
+			break
+		}
+	}
+	collected := make([]adjudicate.Reply, 0, len(called))
+	for _, r := range called {
+		if responded(r) {
+			collected = append(collected, r)
+		}
+	}
+	winner, err := deliver(collected)
+	oldest, newest := targets[0], targets[len(targets)-1]
+	e.record(operation, calledEps, called, winner, oldest, newest)
+	return winner, err
+}
+
+// deliveryAdjudicator selects the phase-appropriate delivery rule.
+func (e *Engine) deliveryAdjudicator(phase Phase, oldest, newest Endpoint, adj adjudicate.Adjudicator) adjudicate.Adjudicator {
+	switch phase {
+	case PhaseOldOnly:
+		return adjudicate.Preferred{Release: oldest.Version, Fallback: adj}
+	case PhaseObservation:
+		// §3.1: the old release remains authoritative during the
+		// transitional period; its response is delivered while the new
+		// release is only observed.
+		return adjudicate.Preferred{Release: oldest.Version, Fallback: adj}
+	case PhaseNewOnly:
+		return adjudicate.Preferred{Release: newest.Version, Fallback: adj}
+	default:
+		return adj
+	}
+}
+
+// callRelease invokes one release and classifies the outcome.
+func (e *Engine) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
+	start := time.Now()
+	reply := adjudicate.Reply{Release: ep.Version}
+	res, err := httpx.PostXML(ctx, e.client, ep.URL, soap.ContentType, envelope, e.cfg.Retry)
+	reply.Latency = time.Since(start)
+	if err != nil {
+		reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, err)
+		return reply
+	}
+	reply.Header = res.Header
+	parsed, perr := soap.Parse(res.Body)
+	switch {
+	case res.Status == http.StatusInternalServerError && perr == nil && parsed.Fault != nil:
+		reply.Err = parsed.Fault
+	case res.Status != http.StatusOK:
+		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
+	case perr != nil:
+		reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, perr)
+	default:
+		reply.Body = parsed.BodyXML
+	}
+	return reply
+}
+
+// record feeds the monitoring subsystem and evaluates the switch policy.
+func (e *Engine) record(operation string, targets []Endpoint, replies []adjudicate.Reply,
+	winner adjudicate.Reply, oldest, newest Endpoint) {
+	failed := e.oracle.Judge(operation, replies)
+	rec := monitor.Record{
+		Time:      time.Now(),
+		Operation: operation,
+		Winner:    winner.Release,
+	}
+	var oldFailed, newFailed *bool
+	for i, r := range replies {
+		if r.Release == "" {
+			continue
+		}
+		obs := monitor.Observation{
+			Release:   r.Release,
+			Responded: responded(r),
+			Evident:   !r.Valid(),
+			Judged:    true,
+			Failed:    failed[i],
+			Latency:   r.Latency,
+		}
+		rec.Releases = append(rec.Releases, obs)
+		f := failed[i]
+		if r.Release == oldest.Version {
+			oldFailed = &f
+		}
+		if r.Release == newest.Version {
+			newFailed = &f
+		}
+	}
+	if oldFailed != nil && newFailed != nil && oldest.Version != newest.Version {
+		rec.Joint = bayes.Outcome(*oldFailed, *newFailed)
+	}
+	e.mon.Note(rec)
+
+	if e.cfg.Policy != nil && rec.Joint != 0 {
+		e.evaluatePolicy()
+	}
+}
+
+// isFault reports whether an evident failure still carried a response
+// (a SOAP fault is a response; a timeout or transport error is not).
+func isFault(err error) bool {
+	var f *soap.Fault
+	return errors.As(err, &f)
+}
+
+// evaluatePolicy runs the Bayesian switch criterion (§4.4, §5.1.1.2).
+func (e *Engine) evaluatePolicy() {
+	e.policyMu.Lock()
+	defer e.policyMu.Unlock()
+
+	e.mu.Lock()
+	phase := e.phase
+	e.mu.Unlock()
+	if phase == PhaseNewOnly {
+		return
+	}
+	counts := e.mon.Joint()
+	p := e.cfg.Policy
+	if counts.N < p.MinDemands || counts.N%p.CheckEvery != 0 {
+		return
+	}
+	post, err := e.inference.Posterior(counts)
+	if err != nil {
+		return
+	}
+	if p.Criterion.Satisfied(post) {
+		e.mu.Lock()
+		if e.phase != PhaseNewOnly {
+			e.phase = PhaseNewOnly
+			e.switchedAt = counts.N
+		}
+		e.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Confidence (§6.2)
+
+// ConfidenceReport is a snapshot of the engine's confidence in the
+// release pair for one operation ("" = all operations pooled).
+type ConfidenceReport struct {
+	// Operation is the queried operation ("" for the pooled record).
+	Operation string
+	// Target is the pfd target T of the confidences.
+	Target float64
+	// Old is P(pfd_old ≤ T | observations).
+	Old float64
+	// New is P(pfd_new ≤ T | observations).
+	New float64
+	// Published is the single value published to consumers: the
+	// confidence of what they are currently served (conservatively the
+	// smaller of the two while both releases' responses can be
+	// delivered).
+	Published float64
+	// OldP99 and NewP99 are the 99% pfd percentiles (eq. 6).
+	OldP99, NewP99 float64
+	// Demands is the number of joint observations behind the report.
+	Demands int
+}
+
+// Confidence computes the report for one operation; operation "" pools
+// all operations.
+func (e *Engine) Confidence(operation string) (ConfidenceReport, error) {
+	if e.inference == nil {
+		return ConfidenceReport{}, ErrNoInference
+	}
+	var counts bayes.JointCounts
+	if operation == "" {
+		counts = e.mon.Joint()
+	} else {
+		counts = e.mon.JointFor(operation)
+	}
+	post, err := e.inference.Posterior(counts)
+	if err != nil {
+		return ConfidenceReport{}, fmt.Errorf("core: computing posterior: %w", err)
+	}
+	rep := ConfidenceReport{
+		Operation: operation,
+		Target:    e.cfg.ConfidenceTarget,
+		Old:       post.ConfidenceA(e.cfg.ConfidenceTarget),
+		New:       post.ConfidenceB(e.cfg.ConfidenceTarget),
+		OldP99:    post.PercentileA(0.99),
+		NewP99:    post.PercentileB(0.99),
+		Demands:   counts.N,
+	}
+	switch e.Phase() {
+	case PhaseOldOnly, PhaseObservation:
+		rep.Published = rep.Old
+	case PhaseNewOnly:
+		rep.Published = rep.New
+	default:
+		rep.Published = math.Min(rep.Old, rep.New)
+	}
+	return rep, nil
+}
+
+// AvailabilityConfidence computes the confidence that a release's
+// probability of not responding within the timeout is at most target —
+// the §6.1 "confidence in availability" attribute, read back per release.
+// It uses a black-box Beta-binomial inference over the monitor's
+// response/no-response record with a diffuse Beta(1,1) prior on [0, 0.9].
+func (e *Engine) AvailabilityConfidence(version string, target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("%w: availability target %v", ErrBadConfig, target)
+	}
+	s, err := e.mon.Stats(version)
+	if err != nil {
+		return 0, fmt.Errorf("core: availability confidence: %w", err)
+	}
+	bb, err := bayes.NewBlackBox(availabilityPrior, 300)
+	if err != nil {
+		return 0, fmt.Errorf("core: availability prior: %w", err)
+	}
+	post, err := bb.Posterior(s.Demands, s.Demands-s.Responses)
+	if err != nil {
+		return 0, fmt.Errorf("core: availability posterior: %w", err)
+	}
+	return post.CDF(target), nil
+}
+
+// availabilityPrior is diffuse: before any evidence every no-response
+// probability below 0.9 is equally plausible.
+var availabilityPrior = stats.ScaledBeta{Alpha: 1, Beta: 1, Upper: 0.9}
+
+// ResponsivenessConfidence computes the confidence that a release's
+// probability of exceeding maxLatency (or not responding at all) is at
+// most target — the §6.1 "confidence in responsiveness" attribute.
+func (e *Engine) ResponsivenessConfidence(version string, maxLatency time.Duration, target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("%w: responsiveness target %v", ErrBadConfig, target)
+	}
+	if maxLatency <= 0 {
+		return 0, fmt.Errorf("%w: latency bound %v", ErrBadConfig, maxLatency)
+	}
+	slow, demands, err := e.mon.SlowResponses(version, maxLatency)
+	if err != nil {
+		return 0, fmt.Errorf("core: responsiveness confidence: %w", err)
+	}
+	bb, err := bayes.NewBlackBox(availabilityPrior, 300)
+	if err != nil {
+		return 0, fmt.Errorf("core: responsiveness prior: %w", err)
+	}
+	post, err := bb.Posterior(demands, slow)
+	if err != nil {
+		return 0, fmt.Errorf("core: responsiveness posterior: %w", err)
+	}
+	return post.CDF(target), nil
+}
+
+// publishedConfidence is the scalar used in headers and responses.
+func (e *Engine) publishedConfidence(operation string) (float64, error) {
+	rep, err := e.Confidence(operation)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Published, nil
+}
+
+func confidenceHeader(operation string, value float64) soap.HeaderItem {
+	return soap.HeaderItem(fmt.Sprintf(
+		`<conf:Confidence xmlns:conf=%q operation=%q value="%.6f"/>`,
+		wsdl.UpgradeNS, operation, value))
+}
+
+// operationConfRequest is §6.2 option 2's request payload.
+type operationConfRequest struct {
+	Operation string `xml:"operation"`
+}
+
+type operationConfResponse struct {
+	XMLName    struct{} `xml:"OperationConfResponse"`
+	Confidence float64  `xml:"confidence"`
+}
+
+// serveConfidenceQuery answers the dedicated OperationConf operation.
+func (e *Engine) serveConfidenceQuery(w http.ResponseWriter, parsed *soap.Parsed) {
+	var req operationConfRequest
+	if err := parsed.DecodeBody(&req); err != nil {
+		e.writeFault(w, soap.ClientFault(err.Error()), wsdl.ConfOperationName)
+		return
+	}
+	conf, err := e.publishedConfidence(req.Operation)
+	if err != nil {
+		e.writeFault(w, soap.ServerFault(err.Error()), wsdl.ConfOperationName)
+		return
+	}
+	body, err := soap.Envelope(operationConfResponse{Confidence: conf})
+	if err != nil {
+		e.writeFault(w, soap.ServerFault(err.Error()), wsdl.ConfOperationName)
+		return
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	_, _ = w.Write(body)
+}
+
+// serveConfVariant answers an "<op>Conf" call (§6.2 option 3): it invokes
+// the underlying operation through the normal managed path and extends
+// the response with the confidence element.
+func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, parsed *soap.Parsed, baseOp string) {
+	renamed, err := soap.RenameRoot(parsed.BodyXML, baseOp+"Request")
+	if err != nil {
+		e.writeFault(w, soap.ClientFault(err.Error()), baseOp)
+		return
+	}
+	winner, adjErr := e.dispatch(r.Context(), soap.EnvelopeRaw(renamed), baseOp,
+		requestAdjudicator(r, e.adjudic))
+	if adjErr != nil {
+		e.respond(w, baseOp, winner, adjErr)
+		return
+	}
+	conf, err := e.publishedConfidence(baseOp)
+	if err != nil {
+		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
+		return
+	}
+	extended, err := soap.InjectElement(winner.Body,
+		[]byte(fmt.Sprintf("<%sConf>%.6f</%sConf>", baseOp, conf, baseOp)))
+	if err != nil {
+		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
+		return
+	}
+	renamedResp, err := soap.RenameRoot(extended, baseOp+"ConfResponse")
+	if err != nil {
+		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
+		return
+	}
+	winner.Body = renamedResp
+	e.respond(w, baseOp, winner, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Registry integration
+
+// RegistryEntry builds the registry entry describing this engine's
+// service surface (the §6.2 "publish the confidence in the UDDI archive"
+// path). name is the service name; endpoint is the engine's public URL.
+func (e *Engine) RegistryEntry(name, endpoint string) registry.Entry {
+	entry := registry.Entry{
+		Name:     name,
+		Version:  e.newestVersion(),
+		URL:      endpoint,
+		Provider: "wsupgrade-middleware",
+	}
+	if e.cfg.Contract != nil && e.inference != nil {
+		for _, op := range e.cfg.Contract.Operations {
+			if conf, err := e.publishedConfidence(op.Name); err == nil {
+				entry.Confidence = append(entry.Confidence, registry.OperationConfidence{
+					Name:  op.Name,
+					Value: round6(conf),
+				})
+			}
+		}
+	}
+	return entry
+}
+
+func (e *Engine) newestVersion() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.releases[len(e.releases)-1].Version
+}
+
+func round6(v float64) float64 {
+	return math.Round(v*1e6) / 1e6
+}
+
+// Stats returns the monitoring stats of one release.
+func (e *Engine) Stats(version string) (monitor.ReleaseStats, error) {
+	return e.mon.Stats(version)
+}

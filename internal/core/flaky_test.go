@@ -1,0 +1,43 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/service"
+)
+
+// newFlakyRelease wraps a healthy release with a front that rejects the
+// first failuresPerRequest attempts of every request with HTTP 503 —
+// the transient-failure model of §2.1.
+func newFlakyRelease(t *testing.T, failuresPerRequest int) *httptest.Server {
+	t.Helper()
+	rel, err := service.New(service.DemoContract("1.0"), service.DemoBehaviours(), service.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := rel.Handler()
+	var mu sync.Mutex
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		reject := attempts%(failuresPerRequest+1) != 0
+		mu.Unlock()
+		if reject && r.Method == http.MethodPost {
+			http.Error(w, "transient overload", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func retry3() httpx.RetryPolicy {
+	return httpx.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}
+}

@@ -1,0 +1,169 @@
+// Package httpx is the HTTP transport substrate: clients with sane
+// timeouts, retry of transient failures, and latency instrumentation.
+//
+// Retrying maps directly onto the paper's failure taxonomy (§2.1):
+// a *transient* failure "can be tolerated by using generic recovery
+// techniques such as rollback and retry even if the same code is used",
+// whereas non-transient failures need the diverse redundancy the upgrade
+// middleware provides. This package supplies the first, cheap line of
+// defence; internal/core supplies the second.
+package httpx
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// ErrBadPolicy reports an invalid retry policy.
+var ErrBadPolicy = errors.New("httpx: bad retry policy")
+
+// NewClient returns an HTTP client with an overall per-call timeout.
+// An absent response within the deadline is the evident failure the
+// middleware's availability monitoring counts (§4.3).
+func NewClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
+// RetryPolicy controls PostXML's tolerance of transient failures.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (≥ 1).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles for
+	// each further attempt.
+	Backoff time.Duration
+	// RetryStatus reports whether an HTTP status code is transient.
+	// Nil means "retry on 5xx".
+	RetryStatus func(code int) bool
+}
+
+// NoRetry is the policy with a single attempt.
+var NoRetry = RetryPolicy{Attempts: 1}
+
+// DefaultRetry makes three attempts with a 50 ms initial backoff.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond}
+
+// Validate checks the policy.
+func (p RetryPolicy) Validate() error {
+	if p.Attempts < 1 {
+		return fmt.Errorf("%w: attempts %d", ErrBadPolicy, p.Attempts)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("%w: negative backoff", ErrBadPolicy)
+	}
+	return nil
+}
+
+func (p RetryPolicy) retryStatus(code int) bool {
+	if p.RetryStatus != nil {
+		return p.RetryStatus(code)
+	}
+	return code >= 500 && code != http.StatusInternalServerError
+}
+
+// Result is the outcome of a PostXML exchange.
+type Result struct {
+	// Status is the final HTTP status code.
+	Status int
+	// Body is the response body.
+	Body []byte
+	// Header is the final response's header set.
+	Header http.Header
+	// Attempts is how many tries were made.
+	Attempts int
+	// Latency is the total wall time including retries.
+	Latency time.Duration
+}
+
+// PostXML posts an XML payload with retry of transient failures:
+// transport errors and (by default) 5xx statuses other than 500 are
+// retried with exponential backoff. HTTP 500 is NOT transient here — the
+// SOAP 1.1 binding uses it for faults, which are deterministic evident
+// failures that retrying the same release cannot fix.
+func PostXML(ctx context.Context, client *http.Client, url, contentType string, body []byte, policy RetryPolicy) (*Result, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		if attempt > 1 {
+			backoff := time.Duration(float64(policy.Backoff) * math.Pow(2, float64(attempt-2)))
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("httpx: cancelled during backoff: %w", ctx.Err())
+			case <-time.After(backoff):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("httpx: building request: %w", err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break // deadline spent; no point retrying
+			}
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if policy.retryStatus(resp.StatusCode) && attempt < policy.Attempts {
+			lastErr = fmt.Errorf("httpx: transient HTTP %d from %s", resp.StatusCode, url)
+			continue
+		}
+		return &Result{
+			Status:   resp.StatusCode,
+			Body:     data,
+			Header:   resp.Header,
+			Attempts: attempt,
+			Latency:  time.Since(start),
+		}, nil
+	}
+	return nil, fmt.Errorf("httpx: POST %s failed after retries: %w", url, lastErr)
+}
+
+// Instrumented wraps a RoundTripper and reports the latency and error of
+// every exchange to the observe callback — the hook the monitoring
+// subsystem (§4.3) uses to measure release execution times.
+type Instrumented struct {
+	// Base is the wrapped transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Observe receives every exchange outcome. It must be safe for
+	// concurrent use.
+	Observe func(req *http.Request, status int, latency time.Duration, err error)
+}
+
+var _ http.RoundTripper = (*Instrumented)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (i *Instrumented) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := i.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	start := time.Now()
+	resp, err := base.RoundTrip(req)
+	if i.Observe != nil {
+		status := 0
+		if resp != nil {
+			status = resp.StatusCode
+		}
+		i.Observe(req, status, time.Since(start), err)
+	}
+	return resp, err
+}

@@ -1,0 +1,279 @@
+// Package monitor is the middleware's monitoring subsystem (§4.3): for
+// every consumer invocation it records, per deployed release, the
+// availability (was a response received within the timeout), the
+// execution time, and the judged correctness of the response; it
+// maintains the joint observation record (Table 1) that feeds the
+// Bayesian confidence engine; and it keeps an event log for further
+// analysis (the "Data Base" of Figs 3-5), optionally streamed to a JSONL
+// writer.
+//
+// A Monitor is safe for concurrent use by the request handlers of the
+// upgrade middleware.
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/stats"
+)
+
+// ErrUnknownRelease reports a query for a release never observed.
+var ErrUnknownRelease = errors.New("monitor: unknown release")
+
+// Observation is one release's behaviour on one intercepted demand.
+type Observation struct {
+	// Release is the release's version string.
+	Release string `json:"release"`
+	// Responded reports whether a response arrived within the timeout.
+	Responded bool `json:"responded"`
+	// Evident reports an evident failure (fault, transport error, or —
+	// when Responded is false — the timeout itself).
+	Evident bool `json:"evident"`
+	// Judged reports whether the oracle judged correctness.
+	Judged bool `json:"judged"`
+	// Failed is the oracle's verdict (meaningful when Judged).
+	Failed bool `json:"failed"`
+	// Latency is the observed execution time.
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// Record is one intercepted demand with all its release observations.
+type Record struct {
+	// Time is the interception timestamp.
+	Time time.Time `json:"time"`
+	// Operation is the invoked operation name.
+	Operation string `json:"operation"`
+	// Releases holds one observation per deployed release.
+	Releases []Observation `json:"releases"`
+	// Winner is the release whose response was delivered ("" if none).
+	Winner string `json:"winner,omitempty"`
+	// Joint is the pairwise outcome for the (old, new) release pair fed
+	// to the white-box inference; zero when not derivable.
+	Joint bayes.JointOutcome `json:"joint,omitempty"`
+}
+
+// ReleaseStats aggregates one release's observed behaviour.
+type ReleaseStats struct {
+	// Release is the version string.
+	Release string
+	// Demands counts observations.
+	Demands int
+	// Responses counts demands with a response within the timeout.
+	Responses int
+	// Evident counts evident failures.
+	Evident int
+	// JudgedFailures counts oracle-judged failures (evident or not).
+	JudgedFailures int
+	// MeanLatency is the mean observed execution time.
+	MeanLatency time.Duration
+	// MaxLatency is the slowest observed execution time.
+	MaxLatency time.Duration
+}
+
+// Availability is the fraction of demands that produced a response
+// within the timeout (§2: availability including responsiveness).
+func (s ReleaseStats) Availability() float64 {
+	if s.Demands == 0 {
+		return 0
+	}
+	return float64(s.Responses) / float64(s.Demands)
+}
+
+// latencyBins discretize response latencies for exceedance queries; the
+// range covers [0, latencyRange) with 1 ms resolution at the low end
+// growing geometrically, which keeps responsiveness confidence accurate
+// where it matters.
+const (
+	latencyBinCount = 2048
+	latencyRange    = 60 * time.Second
+)
+
+type releaseAgg struct {
+	demands, responses, evident, judgedFailed int
+	latency                                   stats.Summary
+	latencyHist                               *stats.Histogram
+}
+
+// Monitor accumulates records. Construct with New.
+type Monitor struct {
+	mu       sync.Mutex
+	releases map[string]*releaseAgg
+	joint    bayes.JointCounts
+	perOp    map[string]bayes.JointCounts
+	log      []Record
+	logCap   int
+	sink     io.Writer
+	sinkErr  error
+}
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithLogCapacity bounds the in-memory event log (default 4096 records;
+// older records are dropped first).
+func WithLogCapacity(n int) Option {
+	return func(m *Monitor) { m.logCap = n }
+}
+
+// WithSink streams every record as one JSON line to w (the persistent
+// "Data Base" of the architecture diagrams). Write errors are remembered
+// and reported by Err; recording continues in memory.
+func WithSink(w io.Writer) Option {
+	return func(m *Monitor) { m.sink = w }
+}
+
+// New returns an empty monitor.
+func New(opts ...Option) *Monitor {
+	m := &Monitor{
+		releases: make(map[string]*releaseAgg),
+		perOp:    make(map[string]bayes.JointCounts),
+		logCap:   4096,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Note records one demand.
+func (m *Monitor) Note(rec Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, obs := range rec.Releases {
+		agg, ok := m.releases[obs.Release]
+		if !ok {
+			hist, err := stats.NewHistogram(0, latencyRange.Seconds(), latencyBinCount)
+			if err != nil {
+				panic("monitor: latency histogram: " + err.Error()) // static bounds, unreachable
+			}
+			agg = &releaseAgg{latencyHist: hist}
+			m.releases[obs.Release] = agg
+		}
+		agg.demands++
+		if obs.Responded {
+			agg.responses++
+			agg.latency.Observe(obs.Latency.Seconds())
+			agg.latencyHist.Observe(obs.Latency.Seconds())
+		}
+		if obs.Evident {
+			agg.evident++
+		}
+		if obs.Judged && obs.Failed {
+			agg.judgedFailed++
+		}
+	}
+	if rec.Joint != 0 {
+		m.joint.Add(rec.Joint)
+		if rec.Operation != "" {
+			perOp := m.perOp[rec.Operation]
+			perOp.Add(rec.Joint)
+			m.perOp[rec.Operation] = perOp
+		}
+	}
+	if m.logCap > 0 {
+		if len(m.log) >= m.logCap {
+			copy(m.log, m.log[1:])
+			m.log = m.log[:len(m.log)-1]
+		}
+		m.log = append(m.log, rec)
+	}
+	if m.sink != nil {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = m.sink.Write(line)
+		}
+		if err != nil && m.sinkErr == nil {
+			m.sinkErr = fmt.Errorf("monitor: writing sink: %w", err)
+		}
+	}
+}
+
+// Err reports the first sink write error, if any.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sinkErr
+}
+
+// Joint returns the accumulated pairwise observation record (Table 1)
+// for the Bayesian inference.
+func (m *Monitor) Joint() bayes.JointCounts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.joint
+}
+
+// SlowResponses returns how many of a release's demands either produced
+// no response at all or responded slower than the threshold — the
+// numerator of the §6.1 responsiveness attribute. The count is computed
+// from a 2048-bin latency histogram, so thresholds are resolved to
+// ~30 ms granularity.
+func (m *Monitor) SlowResponses(release string, threshold time.Duration) (slow, demands int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.releases[release]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownRelease, release)
+	}
+	noResponse := agg.demands - agg.responses
+	// Count responses in bins entirely above the threshold.
+	binWidth := latencyRange.Seconds() / latencyBinCount
+	firstAbove := int(threshold.Seconds()/binWidth) + 1
+	slowResponded := 0
+	for i := firstAbove; i < latencyBinCount; i++ {
+		slowResponded += agg.latencyHist.Counts[i]
+	}
+	return noResponse + slowResponded, agg.demands, nil
+}
+
+// JointFor returns the pairwise observation record restricted to one
+// operation — the §6.2 per-operation confidence is computed from it.
+func (m *Monitor) JointFor(operation string) bayes.JointCounts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perOp[operation]
+}
+
+// Stats returns one release's aggregate behaviour.
+func (m *Monitor) Stats(release string) (ReleaseStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.releases[release]
+	if !ok {
+		return ReleaseStats{}, fmt.Errorf("%w: %q", ErrUnknownRelease, release)
+	}
+	return ReleaseStats{
+		Release:        release,
+		Demands:        agg.demands,
+		Responses:      agg.responses,
+		Evident:        agg.evident,
+		JudgedFailures: agg.judgedFailed,
+		MeanLatency:    time.Duration(agg.latency.Mean() * float64(time.Second)),
+		MaxLatency:     time.Duration(agg.latency.Max() * float64(time.Second)),
+	}, nil
+}
+
+// Releases lists the observed release versions (unordered).
+func (m *Monitor) Releases() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.releases))
+	for name := range m.releases {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Log returns a copy of the retained event records, oldest first.
+func (m *Monitor) Log() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.log...)
+}

@@ -1,0 +1,218 @@
+// Package oracle implements the live failure-detection mechanisms the
+// monitoring subsystem uses to judge release responses (§4.3, §5.1.1.3).
+//
+// Evident failures (faults, timeouts, transport errors) need no oracle;
+// detecting *non-evident* failures requires application-level redundancy:
+//
+//   - Reference: the paper's §3.1 technique — "use the old release as an
+//     'oracle' in judging if WS 1.1 returns correct responses": a valid
+//     response disagreeing with the reference release's is judged failed.
+//   - BackToBack: pure comparison — when the releases disagree, both are
+//     suspected; coincident identical failures are (pessimistically)
+//     undetectable, exactly the §5.1.1.3 model.
+//   - Header: a ground-truth oracle reading the fault-injection marker the
+//     internal/service runtime attaches; only the test harness has it.
+//   - WithOmission wraps any oracle with the paper's omission-failure
+//     imperfection: each detected failure is missed with probability
+//     Pomit.
+//
+// All oracles return per-reply failure verdicts aligned with the replies
+// slice, from which the pairwise Table 1 outcome is derived.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wsupgrade/internal/adjudicate"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/xrand"
+)
+
+// InjectionHeader is the response header with which the fault-injecting
+// service runtime labels each response's true outcome kind. Only the
+// ground-truth Header oracle reads it.
+const InjectionHeader = "X-Wsupgrade-Injected"
+
+// ErrBadOracle reports an invalid oracle configuration.
+var ErrBadOracle = errors.New("oracle: bad configuration")
+
+// Oracle judges which replies failed. Implementations must be safe for
+// concurrent use and must not mutate the replies.
+type Oracle interface {
+	// Judge returns failed[i] == true when replies[i] is judged to have
+	// failed (evidently or not). len(failed) == len(replies).
+	Judge(operation string, replies []adjudicate.Reply) []bool
+	// Name identifies the oracle in reports.
+	Name() string
+}
+
+// FaultOnly detects evident failures only: a reply failed iff it carries
+// an error (fault, timeout, transport). Non-evident failures pass
+// undetected — the baseline detection level without redundancy.
+type FaultOnly struct{}
+
+var _ Oracle = FaultOnly{}
+
+// Judge implements Oracle.
+func (FaultOnly) Judge(operation string, replies []adjudicate.Reply) []bool {
+	failed := make([]bool, len(replies))
+	for i, r := range replies {
+		failed[i] = !r.Valid()
+	}
+	return failed
+}
+
+// Name implements Oracle.
+func (FaultOnly) Name() string { return "fault-only" }
+
+// Reference trusts the named release: any valid reply whose canonical
+// payload differs from the reference's valid payload is judged failed.
+// When the reference itself failed evidently, only evident failures are
+// detected on the others (no basis for comparison).
+type Reference struct {
+	// Release is the trusted release's version string.
+	Release string
+}
+
+var _ Oracle = Reference{}
+
+// Judge implements Oracle.
+func (o Reference) Judge(operation string, replies []adjudicate.Reply) []bool {
+	failed := make([]bool, len(replies))
+	var ref *adjudicate.Reply
+	for i := range replies {
+		if replies[i].Release == o.Release && replies[i].Valid() {
+			ref = &replies[i]
+			break
+		}
+	}
+	for i, r := range replies {
+		switch {
+		case !r.Valid():
+			failed[i] = true
+		case ref != nil && r.Release != o.Release && !soap.EqualCanonical(r.Body, ref.Body):
+			failed[i] = true
+		}
+	}
+	return failed
+}
+
+// Name implements Oracle.
+func (o Reference) Name() string { return "reference(" + o.Release + ")" }
+
+// BackToBack judges by comparison only: with two valid replies that
+// disagree, both are flagged as suspected failures (the middleware cannot
+// tell which is wrong without further diversity); identical replies pass.
+// This is deliberately the paper's pessimistic §5.1.1.3 detector —
+// coincident identical failures are recorded as joint successes.
+type BackToBack struct{}
+
+var _ Oracle = BackToBack{}
+
+// Judge implements Oracle.
+func (BackToBack) Judge(operation string, replies []adjudicate.Reply) []bool {
+	failed := make([]bool, len(replies))
+	valid := make([]int, 0, len(replies))
+	for i, r := range replies {
+		if r.Valid() {
+			valid = append(valid, i)
+		} else {
+			failed[i] = true
+		}
+	}
+	if len(valid) < 2 {
+		return failed
+	}
+	base := replies[valid[0]].Body
+	agree := true
+	for _, i := range valid[1:] {
+		if !soap.EqualCanonical(base, replies[i].Body) {
+			agree = false
+			break
+		}
+	}
+	if !agree {
+		for _, i := range valid {
+			failed[i] = true
+		}
+	}
+	return failed
+}
+
+// Name implements Oracle.
+func (BackToBack) Name() string { return "back-to-back" }
+
+// Header is the ground-truth oracle of the test harness: it reads the
+// fault-injection marker attached by the internal/service runtime. A
+// reply failed iff it failed evidently or carries an "ER"/"NER" marker.
+type Header struct{}
+
+var _ Oracle = Header{}
+
+// Judge implements Oracle.
+func (Header) Judge(operation string, replies []adjudicate.Reply) []bool {
+	failed := make([]bool, len(replies))
+	for i, r := range replies {
+		if !r.Valid() {
+			failed[i] = true
+			continue
+		}
+		if r.Header != nil {
+			switch r.Header.Get(InjectionHeader) {
+			case "ER", "NER":
+				failed[i] = true
+			}
+		}
+	}
+	return failed
+}
+
+// Name implements Oracle.
+func (Header) Name() string { return "header-truth" }
+
+// WithOmission wraps an oracle with §5.1.1.3 omission imperfection: each
+// failure verdict is independently flipped to success with probability
+// Pomit. Construct with NewWithOmission.
+type WithOmission struct {
+	inner Oracle
+	pomit float64
+
+	mu  sync.Mutex
+	rng *xrand.Rand
+}
+
+var _ Oracle = (*WithOmission)(nil)
+
+// NewWithOmission wraps inner with the given omission probability.
+func NewWithOmission(inner Oracle, pomit float64, rng *xrand.Rand) (*WithOmission, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner oracle", ErrBadOracle)
+	}
+	if pomit < 0 || pomit > 1 {
+		return nil, fmt.Errorf("%w: pomit %v", ErrBadOracle, pomit)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadOracle)
+	}
+	return &WithOmission{inner: inner, pomit: pomit, rng: rng}, nil
+}
+
+// Judge implements Oracle.
+func (o *WithOmission) Judge(operation string, replies []adjudicate.Reply) []bool {
+	failed := o.inner.Judge(operation, replies)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range failed {
+		if failed[i] && o.rng.Bool(o.pomit) {
+			failed[i] = false
+		}
+	}
+	return failed
+}
+
+// Name implements Oracle.
+func (o *WithOmission) Name() string {
+	return fmt.Sprintf("omission(%.2f, %s)", o.pomit, o.inner.Name())
+}

@@ -1,0 +1,410 @@
+// Package registry is a UDDI-style service registry: providers publish
+// releases of their Web Services (name, version, endpoint, WSDL,
+// confidence); consumers look services up and subscribe to upgrade
+// notifications.
+//
+// The paper relies on the registry for three capabilities:
+//
+//   - discovery (Fig 1: services are "published with their respective
+//     interfaces according to WSDL" and found through UDDI);
+//   - confidence publication (§6.2: "the clients will be able to get this
+//     information directly from the UDDI archive");
+//   - upgrade notification (§7.2: consumers are told when a new release
+//     of a WS appears, so the managed upgrade can start).
+//
+// The registry speaks XML over HTTP:
+//
+//	POST /publish          body: <entry>      → 200
+//	GET  /find?name=N      → <entries> (all versions, newest first)
+//	GET  /get?name=N&version=V → <entry>
+//	POST /subscribe        body: <subscription> → 200
+//
+// On publication of a new version of an already-known service the
+// registry synchronously notifies subscribers by POSTing the new entry to
+// their callback URLs — the "callback function to consumers" variant of
+// §7.2.
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors reported by the registry and its client.
+var (
+	// ErrNotFound reports an unknown service or version.
+	ErrNotFound = errors.New("registry: not found")
+	// ErrBadEntry reports an unpublishable entry.
+	ErrBadEntry = errors.New("registry: bad entry")
+)
+
+// Entry is one published release of a Web Service.
+type Entry struct {
+	XMLName xml.Name `xml:"entry"`
+	// Name is the service name, shared by all its releases.
+	Name string `xml:"name"`
+	// Version distinguishes releases (§3.2 requires distinguishability).
+	Version string `xml:"version"`
+	// URL is the release's SOAP endpoint.
+	URL string `xml:"url"`
+	// WSDL is the service description document, if published.
+	WSDL string `xml:"wsdl,omitempty"`
+	// Provider names the publishing organisation.
+	Provider string `xml:"provider,omitempty"`
+	// Confidence carries the published per-operation confidence values
+	// (§6.2: confidence kept up to date in the UDDI archive).
+	Confidence []OperationConfidence `xml:"confidence>operation,omitempty"`
+	// Published is set by the registry.
+	Published time.Time `xml:"published,omitempty"`
+}
+
+// OperationConfidence is a published confidence value for one operation.
+type OperationConfidence struct {
+	Name  string  `xml:"name,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+// Validate checks the entry can be published.
+func (e Entry) Validate() error {
+	if e.Name == "" || e.Version == "" || e.URL == "" {
+		return fmt.Errorf("%w: name, version and url are required (got %q %q %q)",
+			ErrBadEntry, e.Name, e.Version, e.URL)
+	}
+	for _, c := range e.Confidence {
+		if c.Value < 0 || c.Value > 1 {
+			return fmt.Errorf("%w: confidence %v for %q outside [0,1]", ErrBadEntry, c.Value, c.Name)
+		}
+	}
+	return nil
+}
+
+// Subscription asks for notification when a service gains a new version.
+type Subscription struct {
+	XMLName xml.Name `xml:"subscription"`
+	// Service is the service name to watch.
+	Service string `xml:"service"`
+	// Callback is the URL that receives the new entry by POST.
+	Callback string `xml:"callback"`
+}
+
+type entriesDoc struct {
+	XMLName xml.Name `xml:"entries"`
+	Entries []Entry  `xml:"entry"`
+}
+
+// Server is the in-memory registry. It implements http.Handler.
+// Construct with NewServer.
+type Server struct {
+	mu       sync.RWMutex
+	services map[string][]Entry        // name → releases, publication order
+	subs     map[string][]Subscription // name → subscriptions
+	notify   *http.Client
+	now      func() time.Time
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithNotifyClient sets the HTTP client used for callback notification;
+// the default has a 5 s timeout.
+func WithNotifyClient(c *http.Client) Option {
+	return func(s *Server) { s.notify = c }
+}
+
+// WithClock overrides the publication timestamp source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// NewServer returns an empty registry.
+func NewServer(opts ...Option) *Server {
+	s := &Server{
+		services: make(map[string][]Entry),
+		subs:     make(map[string][]Subscription),
+		notify:   &http.Client{Timeout: 5 * time.Second},
+		now:      time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Publish registers a release. Publishing an existing (name, version)
+// replaces its entry without notification; a new version of a known
+// service triggers synchronous subscriber notification.
+func (s *Server) Publish(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	e.Published = s.now()
+
+	s.mu.Lock()
+	existing := s.services[e.Name]
+	replaced := false
+	for i, old := range existing {
+		if old.Version == e.Version {
+			existing[i] = e
+			replaced = true
+			break
+		}
+	}
+	isUpgrade := false
+	if !replaced {
+		isUpgrade = len(existing) > 0
+		s.services[e.Name] = append(existing, e)
+	}
+	subs := append([]Subscription(nil), s.subs[e.Name]...)
+	s.mu.Unlock()
+
+	if isUpgrade {
+		s.notifySubscribers(subs, e)
+	}
+	return nil
+}
+
+// notifySubscribers posts the new entry to each callback synchronously;
+// a dead subscriber is skipped (the registry does not fail publication
+// over it).
+func (s *Server) notifySubscribers(subs []Subscription, e Entry) {
+	body, err := xml.Marshal(e)
+	if err != nil {
+		return
+	}
+	for _, sub := range subs {
+		req, err := http.NewRequest(http.MethodPost, sub.Callback, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+		resp, err := s.notify.Do(req)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+// Find returns all releases of a service, newest publication first.
+func (s *Server) Find(name string) ([]Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, ok := s.services[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: service %q", ErrNotFound, name)
+	}
+	out := append([]Entry(nil), entries...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Published.After(out[j].Published) })
+	return out, nil
+}
+
+// Get returns one specific release.
+func (s *Server) Get(name, version string) (Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.services[name] {
+		if e.Version == version {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %s/%s", ErrNotFound, name, version)
+}
+
+// Subscribe registers an upgrade-notification callback.
+func (s *Server) Subscribe(sub Subscription) error {
+	if sub.Service == "" || sub.Callback == "" {
+		return fmt.Errorf("%w: subscription needs service and callback", ErrBadEntry)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.subs[sub.Service] {
+		if existing.Callback == sub.Callback {
+			return nil // idempotent
+		}
+	}
+	s.subs[sub.Service] = append(s.subs[sub.Service], sub)
+	return nil
+}
+
+// ServeHTTP implements the XML-over-HTTP API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/publish":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var e Entry
+		if err := decodeXML(r.Body, &e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Publish(e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+
+	case "/find":
+		name := r.URL.Query().Get("name")
+		entries, err := s.Find(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeXML(w, entriesDoc{Entries: entries})
+
+	case "/get":
+		q := r.URL.Query()
+		e, err := s.Get(q.Get("name"), q.Get("version"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeXML(w, e)
+
+	case "/subscribe":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var sub Subscription
+		if err := decodeXML(r.Body, &sub); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Subscribe(sub); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func decodeXML(r io.Reader, v interface{}) error {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if err := xml.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("decoding XML: %w", err)
+	}
+	return nil
+}
+
+func writeXML(w http.ResponseWriter, v interface{}) {
+	data, err := xml.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client talks to a registry server.
+type Client struct {
+	// Base is the registry's base URL.
+	Base string
+	// HTTP is the transport; nil means a 5 s-timeout client.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Publish registers a release with the registry.
+func (c *Client) Publish(ctx context.Context, e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	body, err := xml.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("registry: marshalling entry: %w", err)
+	}
+	return c.post(ctx, "/publish", body)
+}
+
+// Subscribe registers an upgrade-notification callback.
+func (c *Client) Subscribe(ctx context.Context, service, callback string) error {
+	body, err := xml.Marshal(Subscription{Service: service, Callback: callback})
+	if err != nil {
+		return fmt.Errorf("registry: marshalling subscription: %w", err)
+	}
+	return c.post(ctx, "/subscribe", body)
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("registry: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("registry: POST %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Find returns all releases of a service, newest first.
+func (c *Client) Find(ctx context.Context, name string) ([]Entry, error) {
+	var doc entriesDoc
+	if err := c.get(ctx, "/find?name="+name, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Entries, nil
+}
+
+// Get returns one release.
+func (c *Client) Get(ctx context.Context, name, version string) (Entry, error) {
+	var e Entry
+	if err := c.get(ctx, "/get?name="+name+"&version="+version, &e); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, v interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return fmt.Errorf("registry: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: GET %s", ErrNotFound, path)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registry: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return decodeXML(resp.Body, v)
+}

@@ -1,0 +1,284 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEntry(version string) Entry {
+	return Entry{
+		Name:     "WebService1",
+		Version:  version,
+		URL:      "http://node1/ws" + version,
+		Provider: "third-party",
+		Confidence: []OperationConfidence{
+			{Name: "operation1", Value: 0.97},
+		},
+	}
+}
+
+func TestPublishFindGet(t *testing.T) {
+	now := time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)
+	s := NewServer(WithClock(func() time.Time {
+		now = now.Add(time.Minute)
+		return now
+	}))
+	if err := s.Publish(testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(testEntry("1.1")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Find("WebService1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("found %d entries", len(entries))
+	}
+	// Newest first.
+	if entries[0].Version != "1.1" || entries[1].Version != "1.0" {
+		t.Fatalf("order = %s, %s", entries[0].Version, entries[1].Version)
+	}
+	e, err := s.Get("WebService1", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.URL != "http://node1/ws1.0" || e.Confidence[0].Value != 0.97 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := s.Get("WebService1", "9.9"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version: %v", err)
+	}
+	if _, err := s.Find("Nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing service: %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := NewServer()
+	if err := s.Publish(Entry{}); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("empty entry: %v", err)
+	}
+	bad := testEntry("1.0")
+	bad.Confidence = []OperationConfidence{{Name: "op", Value: 1.5}}
+	if err := s.Publish(bad); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("confidence 1.5: %v", err)
+	}
+}
+
+func TestRepublishSameVersionReplaces(t *testing.T) {
+	s := NewServer()
+	if err := s.Publish(testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	updated := testEntry("1.0")
+	updated.Confidence = []OperationConfidence{{Name: "operation1", Value: 0.99}}
+	if err := s.Publish(updated); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Find("WebService1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("republish duplicated: %d entries", len(entries))
+	}
+	if entries[0].Confidence[0].Value != 0.99 {
+		t.Fatal("confidence update lost")
+	}
+}
+
+// §7.2: publishing a NEW version of a known service notifies subscribers.
+func TestUpgradeNotification(t *testing.T) {
+	var mu sync.Mutex
+	var received []Entry
+	cb := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var e Entry
+		if err := decodeXML(r.Body, &e); err != nil {
+			t.Errorf("callback decode: %v", err)
+		}
+		mu.Lock()
+		received = append(received, e)
+		mu.Unlock()
+	}))
+	defer cb.Close()
+
+	s := NewServer()
+	if err := s.Publish(testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe(Subscription{Service: "WebService1", Callback: cb.URL}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-publishing the same version must NOT notify.
+	if err := s.Publish(testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(received) != 0 {
+		mu.Unlock()
+		t.Fatal("same-version republish notified")
+	}
+	mu.Unlock()
+	// A new version must notify with the new entry.
+	if err := s.Publish(testEntry("1.1")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(received) != 1 || received[0].Version != "1.1" {
+		t.Fatalf("notifications = %+v", received)
+	}
+}
+
+func TestNotificationSurvivesDeadSubscriber(t *testing.T) {
+	s := NewServer(WithNotifyClient(&http.Client{Timeout: 100 * time.Millisecond}))
+	if err := s.Publish(testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe(Subscription{Service: "WebService1", Callback: "http://127.0.0.1:1/cb"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(testEntry("1.1")); err != nil {
+		t.Fatalf("publication failed over dead subscriber: %v", err)
+	}
+}
+
+func TestSubscribeValidationAndIdempotence(t *testing.T) {
+	s := NewServer()
+	if err := s.Subscribe(Subscription{}); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("empty subscription: %v", err)
+	}
+	sub := Subscription{Service: "X", Callback: "http://cb"}
+	if err := s.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.subs["X"]) != 1 {
+		t.Fatalf("duplicate subscription stored: %d", len(s.subs["X"]))
+	}
+}
+
+func TestHTTPAPIEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(NewServer())
+	defer ts.Close()
+	c := &Client{Base: ts.URL, HTTP: ts.Client()}
+	ctx := context.Background()
+
+	if err := c.Publish(ctx, testEntry("1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ctx, testEntry("1.1")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.Find(ctx, "WebService1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("found %d", len(entries))
+	}
+	e, err := c.Get(ctx, "WebService1", "1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.URL != "http://node1/ws1.1" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := c.Get(ctx, "WebService1", "7.7"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version over HTTP: %v", err)
+	}
+	if _, err := c.Find(ctx, "Ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing service over HTTP: %v", err)
+	}
+	if err := c.Subscribe(ctx, "WebService1", "http://consumer/cb"); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid publishes are rejected with a client error.
+	if err := c.Publish(ctx, Entry{Name: "x", Version: "1", URL: ""}); err == nil {
+		t.Fatal("invalid entry accepted over HTTP")
+	}
+}
+
+func TestHTTPAPIRejectsWrongMethods(t *testing.T) {
+	ts := httptest.NewServer(NewServer())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/publish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /publish = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /unknown = %d", resp.StatusCode)
+	}
+}
+
+func TestWSDLDocumentRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(NewServer())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	e := testEntry("1.0")
+	e.WSDL = `<definitions name="WebService1"><service/></definitions>`
+	if err := c.Publish(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ctx, "WebService1", "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WSDL != e.WSDL {
+		t.Fatalf("WSDL lost in round trip: %q", got.WSDL)
+	}
+}
+
+func TestConcurrentPublishAndFind(t *testing.T) {
+	s := NewServer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				e := testEntry("1.0")
+				if n%2 == 0 {
+					e.Version = "1.1"
+				}
+				if err := s.Publish(e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Find("WebService1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	entries, err := s.Find("WebService1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries after concurrent republishes, want 2", len(entries))
+	}
+}

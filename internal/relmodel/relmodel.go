@@ -1,0 +1,399 @@
+// Package relmodel defines the stochastic behaviour models of Web Service
+// releases used throughout the paper's evaluation:
+//
+//   - the per-demand response outcome kinds (correct / evident failure /
+//     non-evident failure, §2.1 and §5.2.1);
+//   - the marginal outcome probabilities of Table 3 and the conditional
+//     correlation matrices of Table 4, packaged as the four simulation
+//     runs of §5.2.2;
+//   - the execution-time model Ex.Time(Release(i)) = T1 + T2(i) of eq. (7),
+//     with exponentially distributed components;
+//   - the Monte-Carlo demand generators of §5.1.1.1 (Scenarios 1 and 2)
+//     that drive the Bayesian inference study, together with the scenario
+//     priors.
+//
+// All sampling is deterministic given an *xrand.Rand.
+package relmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wsupgrade/internal/stats"
+	"wsupgrade/internal/xrand"
+)
+
+// ErrBadModel reports inconsistent model parameters.
+var ErrBadModel = errors.New("relmodel: bad model")
+
+// OutcomeKind classifies a single response of a release (§2.1, §5.2.1).
+type OutcomeKind int
+
+const (
+	// Correct (CR): the response satisfies the specification.
+	Correct OutcomeKind = iota + 1
+	// EvidentFailure (ER): a failure detectable without redundancy —
+	// an exception, a denial of service, a malformed response.
+	EvidentFailure
+	// NonEvidentFailure (NER): a wrong but plausible response, detectable
+	// only through application-level redundancy such as diversity.
+	NonEvidentFailure
+)
+
+// Kinds lists the three outcome kinds in canonical (CR, ER, NER) order.
+var Kinds = [3]OutcomeKind{Correct, EvidentFailure, NonEvidentFailure}
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (k OutcomeKind) String() string {
+	switch k {
+	case Correct:
+		return "CR"
+	case EvidentFailure:
+		return "ER"
+	case NonEvidentFailure:
+		return "NER"
+	default:
+		return fmt.Sprintf("OutcomeKind(%d)", int(k))
+	}
+}
+
+// Failed reports whether the outcome is a failure of any kind.
+func (k OutcomeKind) Failed() bool { return k == EvidentFailure || k == NonEvidentFailure }
+
+// index maps an OutcomeKind to its 0-based position in Kinds.
+func (k OutcomeKind) index() int { return int(k) - 1 }
+
+// Profile is a marginal outcome distribution for one release: the
+// probabilities of CR, ER and NER on a demand (one row of Table 3).
+type Profile struct {
+	CR, ER, NER float64
+}
+
+// Validate checks the probabilities form a distribution.
+func (p Profile) Validate() error {
+	for _, v := range []float64{p.CR, p.ER, p.NER} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("%w: profile %+v", ErrBadModel, p)
+		}
+	}
+	if s := p.CR + p.ER + p.NER; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("%w: profile sums to %v", ErrBadModel, s)
+	}
+	return nil
+}
+
+// Sample draws one outcome from the marginal distribution.
+func (p Profile) Sample(rng *xrand.Rand) OutcomeKind {
+	return Kinds[rng.Categorical([]float64{p.CR, p.ER, p.NER})]
+}
+
+// Prob returns the probability of the given kind.
+func (p Profile) Prob(k OutcomeKind) float64 {
+	switch k {
+	case Correct:
+		return p.CR
+	case EvidentFailure:
+		return p.ER
+	case NonEvidentFailure:
+		return p.NER
+	default:
+		return 0
+	}
+}
+
+// CondMatrix is a conditional outcome distribution
+// P(outcome of Release 2 | outcome of Release 1) — one block of Table 4.
+// Rows are indexed by Release 1's outcome, columns by Release 2's, both in
+// (CR, ER, NER) order.
+type CondMatrix [3][3]float64
+
+// Validate checks each row forms a distribution.
+func (m CondMatrix) Validate() error {
+	for i, row := range m {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return fmt.Errorf("%w: conditional row %d = %v", ErrBadModel, i, row)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("%w: conditional row %d sums to %v", ErrBadModel, i, sum)
+		}
+	}
+	return nil
+}
+
+// Sample draws Release 2's outcome given Release 1's.
+func (m CondMatrix) Sample(rel1 OutcomeKind, rng *xrand.Rand) OutcomeKind {
+	row := m[rel1.index()]
+	return Kinds[rng.Categorical(row[:])]
+}
+
+// Marginal2 returns the marginal outcome distribution of Release 2 implied
+// by Release 1's marginal and this conditional matrix.
+func (m CondMatrix) Marginal2(rel1 Profile) Profile {
+	var out [3]float64
+	for i, k := range Kinds {
+		p1 := rel1.Prob(k)
+		for j := range Kinds {
+			out[j] += p1 * m[i][j]
+		}
+	}
+	return Profile{CR: out[0], ER: out[1], NER: out[2]}
+}
+
+// Diagonal returns a conditional matrix with probability d on the diagonal
+// and the remainder split evenly off-diagonal — the structure of Table 4.
+func Diagonal(d float64) CondMatrix {
+	off := (1 - d) / 2
+	var m CondMatrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				m[i][j] = d
+			} else {
+				m[i][j] = off
+			}
+		}
+	}
+	return m
+}
+
+// Run is one simulation configuration of §5.2.2: the marginal profiles of
+// the two releases (Table 3) and the correlation structure (Table 4).
+type Run struct {
+	// ID is the paper's run number, 1-4.
+	ID int
+	// Rel1 is Release 1's marginal outcome distribution (Table 3).
+	Rel1 Profile
+	// Rel2Independent is Release 2's marginal used when the releases are
+	// sampled independently (Table 6 regime).
+	Rel2Independent Profile
+	// Cond is P(Rel2 | Rel1) used in the correlated regime (Table 5).
+	Cond CondMatrix
+}
+
+// Validate checks all components.
+func (r Run) Validate() error {
+	if err := r.Rel1.Validate(); err != nil {
+		return fmt.Errorf("run %d rel1: %w", r.ID, err)
+	}
+	if err := r.Rel2Independent.Validate(); err != nil {
+		return fmt.Errorf("run %d rel2: %w", r.ID, err)
+	}
+	if err := r.Cond.Validate(); err != nil {
+		return fmt.Errorf("run %d cond: %w", r.ID, err)
+	}
+	return nil
+}
+
+// SampleCorrelated draws the outcome pair with Release 2 conditioned on
+// Release 1 (Table 5 regime).
+func (r Run) SampleCorrelated(rng *xrand.Rand) (rel1, rel2 OutcomeKind) {
+	o1 := r.Rel1.Sample(rng)
+	return o1, r.Cond.Sample(o1, rng)
+}
+
+// SampleIndependent draws the outcomes independently from the two
+// marginals (Table 6 regime).
+func (r Run) SampleIndependent(rng *xrand.Rand) (rel1, rel2 OutcomeKind) {
+	return r.Rel1.Sample(rng), r.Rel2Independent.Sample(rng)
+}
+
+// Runs returns the four simulation runs with the exact parameters of
+// Tables 3 and 4.
+func Runs() []Run {
+	return []Run{
+		{
+			ID:              1,
+			Rel1:            Profile{CR: 0.70, ER: 0.15, NER: 0.15},
+			Rel2Independent: Profile{CR: 0.70, ER: 0.15, NER: 0.15},
+			Cond:            Diagonal(0.90),
+		},
+		{
+			ID:              2,
+			Rel1:            Profile{CR: 0.70, ER: 0.15, NER: 0.15},
+			Rel2Independent: Profile{CR: 0.60, ER: 0.20, NER: 0.20},
+			Cond:            Diagonal(0.80),
+		},
+		{
+			ID:              3,
+			Rel1:            Profile{CR: 0.70, ER: 0.15, NER: 0.15},
+			Rel2Independent: Profile{CR: 0.50, ER: 0.25, NER: 0.25},
+			Cond:            Diagonal(0.70),
+		},
+		{
+			ID:              4,
+			Rel1:            Profile{CR: 0.60, ER: 0.20, NER: 0.20},
+			Rel2Independent: Profile{CR: 0.40, ER: 0.30, NER: 0.30},
+			Cond:            Diagonal(0.40),
+		},
+	}
+}
+
+// Latency is the execution-time model of eq. (7):
+// Ex.Time(Release(i)) = T1 + T2(i), where T1 models the computational
+// difficulty common to both releases and T2(i) the per-release part.
+// All components are exponentially distributed. DT is the adjudication
+// overhead added by the middleware (eq. 8).
+type Latency struct {
+	T1Mean  float64 // mean of the shared component, seconds
+	T2Mean1 float64 // mean of Release 1's own component
+	T2Mean2 float64 // mean of Release 2's own component
+	DT      float64 // middleware adjudication time
+}
+
+// PaperLatency returns the §5.2.2 parameters: T1Mean = 0.7 s,
+// T2Mean1 = T2Mean2 = 0.7 s, dT = 0.1 s.
+func PaperLatency() Latency {
+	return Latency{T1Mean: 0.7, T2Mean1: 0.7, T2Mean2: 0.7, DT: 0.1}
+}
+
+// Validate checks the means are non-negative.
+func (l Latency) Validate() error {
+	for _, v := range []float64{l.T1Mean, l.T2Mean1, l.T2Mean2, l.DT} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: latency %+v", ErrBadModel, l)
+		}
+	}
+	return nil
+}
+
+// Sample draws the two releases' execution times for one demand. The T1
+// component is shared — the same draw enters both sums, as eq. (7)
+// prescribes.
+func (l Latency) Sample(rng *xrand.Rand) (t1, t2 float64) {
+	shared := rng.Exp(l.T1Mean)
+	return shared + rng.Exp(l.T2Mean1), shared + rng.Exp(l.T2Mean2)
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian-study scenarios (§5.1.1.1)
+
+// Truth holds the ground-truth failure process from which observations are
+// Monte-Carlo simulated: the old release fails with probability PA; the
+// new release fails with probability PBGivenAFailed when the old one
+// failed on the same demand and PBGivenAOK otherwise.
+type Truth struct {
+	PA             float64
+	PBGivenAFailed float64
+	PBGivenAOK     float64
+}
+
+// Validate checks the probabilities.
+func (t Truth) Validate() error {
+	for _, v := range []float64{t.PA, t.PBGivenAFailed, t.PBGivenAOK} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("%w: truth %+v", ErrBadModel, t)
+		}
+	}
+	return nil
+}
+
+// MarginalPB returns the implied marginal pfd of the new release.
+func (t Truth) MarginalPB() float64 {
+	return t.PA*t.PBGivenAFailed + (1-t.PA)*t.PBGivenAOK
+}
+
+// Sample draws one demand's true failure indicators.
+func (t Truth) Sample(rng *xrand.Rand) (aFailed, bFailed bool) {
+	aFailed = rng.Bool(t.PA)
+	if aFailed {
+		bFailed = rng.Bool(t.PBGivenAFailed)
+	} else {
+		bFailed = rng.Bool(t.PBGivenAOK)
+	}
+	return aFailed, bFailed
+}
+
+// Scenario bundles a named inference study: the priors the assessor holds
+// before the managed upgrade and the ground truth that generates the
+// observations.
+type Scenario struct {
+	// Name is "scenario-1" or "scenario-2" for the paper's studies.
+	Name string
+	// PriorA is the assessor's prior for the old release's pfd.
+	PriorA stats.ScaledBeta
+	// PriorB is the assessor's prior for the new release's pfd.
+	PriorB stats.ScaledBeta
+	// Truth generates the observations.
+	Truth Truth
+	// Demands is the study length (50,000 in the paper).
+	Demands int
+	// Confidence is the level used by all three switch criteria (99%).
+	Confidence float64
+	// C2Target is Criterion 2's explicit pfd target (10⁻³).
+	C2Target float64
+}
+
+// Validate checks all components.
+func (s Scenario) Validate() error {
+	if err := s.PriorA.Validate(); err != nil {
+		return fmt.Errorf("%s prior A: %w", s.Name, err)
+	}
+	if err := s.PriorB.Validate(); err != nil {
+		return fmt.Errorf("%s prior B: %w", s.Name, err)
+	}
+	if err := s.Truth.Validate(); err != nil {
+		return fmt.Errorf("%s truth: %w", s.Name, err)
+	}
+	if s.Demands <= 0 {
+		return fmt.Errorf("%w: %s demands %d", ErrBadModel, s.Name, s.Demands)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return fmt.Errorf("%w: %s confidence %v", ErrBadModel, s.Name, s.Confidence)
+	}
+	if s.C2Target <= 0 {
+		return fmt.Errorf("%w: %s c2 target %v", ErrBadModel, s.Name, s.C2Target)
+	}
+	return nil
+}
+
+// Scenario1 returns the paper's first study: the old release has a long,
+// accurately measured history (pfd ≈ 10⁻³, tight prior Beta(20,20) on
+// [0, 0.002]); the new release is believed slightly better (Beta(2,3) on
+// the same range) but with high uncertainty. The ground truth makes the
+// new release only marginally better (P_B = 0.8·10⁻³) with strongly
+// correlated failures (P(B fails | A fails) = 0.3).
+func Scenario1() Scenario {
+	return Scenario{
+		Name:   "scenario-1",
+		PriorA: stats.ScaledBeta{Alpha: 20, Beta: 20, Upper: 0.002},
+		PriorB: stats.ScaledBeta{Alpha: 2, Beta: 3, Upper: 0.002},
+		Truth: Truth{
+			PA:             1e-3,
+			PBGivenAFailed: 0.3,
+			PBGivenAOK:     0.5e-3,
+		},
+		Demands:    50000,
+		Confidence: 0.99,
+		C2Target:   1e-3,
+	}
+}
+
+// Scenario2 returns the paper's second study: the old release has seen
+// little use (diffuse prior Beta(1,10) on [0, 0.01]) and is actually much
+// worse than believed (true P_A = 5·10⁻³); the new release is
+// conservatively given the same diffuse treatment (Beta(2,3); we place it
+// on the old release's [0, 0.01] range — the paper reuses "parameters as
+// in the first scenario" without restating the range, and only this
+// reading makes Criterion 1's target reachable rather than trivially
+// satisfied at zero demands). The truth makes the new release an order of
+// magnitude better (P_B = 0.5·10⁻³) and never failing alone.
+func Scenario2() Scenario {
+	return Scenario{
+		Name:   "scenario-2",
+		PriorA: stats.ScaledBeta{Alpha: 1, Beta: 10, Upper: 0.01},
+		PriorB: stats.ScaledBeta{Alpha: 2, Beta: 3, Upper: 0.01},
+		Truth: Truth{
+			PA:             5e-3,
+			PBGivenAFailed: 0.1,
+			PBGivenAOK:     0,
+		},
+		Demands:    50000,
+		Confidence: 0.99,
+		C2Target:   1e-3,
+	}
+}

@@ -1,0 +1,318 @@
+package relmodel
+
+import (
+	"math"
+	"testing"
+
+	"wsupgrade/internal/xrand"
+)
+
+func TestOutcomeKindString(t *testing.T) {
+	for k, want := range map[OutcomeKind]string{
+		Correct:           "CR",
+		EvidentFailure:    "ER",
+		NonEvidentFailure: "NER",
+		OutcomeKind(0):    "OutcomeKind(0)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestFailedClassification(t *testing.T) {
+	if Correct.Failed() {
+		t.Fatal("CR classified as failure")
+	}
+	if !EvidentFailure.Failed() || !NonEvidentFailure.Failed() {
+		t.Fatal("failures not classified as failures")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{CR: 0.7, ER: 0.15, NER: 0.15}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{CR: 0.5, ER: 0.2, NER: 0.2},        // sums to 0.9
+		{CR: -0.1, ER: 0.55, NER: 0.55},     // negative
+		{CR: math.NaN(), ER: 0.5, NER: 0.5}, // NaN
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestProfileSampleFrequencies(t *testing.T) {
+	p := Profile{CR: 0.7, ER: 0.15, NER: 0.15}
+	rng := xrand.New(1)
+	counts := map[OutcomeKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Sample(rng)]++
+	}
+	for _, k := range Kinds {
+		got := float64(counts[k]) / n
+		want := p.Prob(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("frequency of %v = %v, want ~%v", k, got, want)
+		}
+	}
+}
+
+func TestProfileProbUnknownKind(t *testing.T) {
+	p := Profile{CR: 1}
+	if p.Prob(OutcomeKind(42)) != 0 {
+		t.Fatal("unknown kind has nonzero probability")
+	}
+}
+
+func TestDiagonalMatrix(t *testing.T) {
+	m := Diagonal(0.9)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.05
+			if i == j {
+				want = 0.9
+			}
+			if math.Abs(m[i][j]-want) > 1e-12 {
+				t.Fatalf("Diagonal(0.9)[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCondMatrixValidate(t *testing.T) {
+	m := Diagonal(0.8)
+	m[0][0] = 0.5 // row 0 now sums to 0.7
+	if err := m.Validate(); err == nil {
+		t.Fatal("broken row accepted")
+	}
+}
+
+func TestCondSampleConditionalFrequencies(t *testing.T) {
+	m := Diagonal(0.9)
+	rng := xrand.New(2)
+	counts := map[OutcomeKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(EvidentFailure, rng)]++
+	}
+	if got := float64(counts[EvidentFailure]) / n; math.Abs(got-0.9) > 0.01 {
+		t.Fatalf("P(ER|ER) = %v, want ~0.9", got)
+	}
+	if got := float64(counts[Correct]) / n; math.Abs(got-0.05) > 0.01 {
+		t.Fatalf("P(CR|ER) = %v, want ~0.05", got)
+	}
+}
+
+func TestMarginal2(t *testing.T) {
+	rel1 := Profile{CR: 0.7, ER: 0.15, NER: 0.15}
+	m := Diagonal(0.9)
+	got := m.Marginal2(rel1)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("implied marginal invalid: %v", err)
+	}
+	// P2(CR) = 0.7*0.9 + 0.15*0.05 + 0.15*0.05 = 0.645
+	if math.Abs(got.CR-0.645) > 1e-12 {
+		t.Fatalf("implied P2(CR) = %v, want 0.645", got.CR)
+	}
+}
+
+func TestRunsMatchPaperTables(t *testing.T) {
+	runs := Runs()
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
+	}
+	for i, r := range runs {
+		if r.ID != i+1 {
+			t.Errorf("run %d has ID %d", i, r.ID)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("run %d invalid: %v", r.ID, err)
+		}
+	}
+	// Table 3 row 3: Rel2 = (0.50, 0.25, 0.25); Table 4 run 3 diag 0.70.
+	r3 := runs[2]
+	if r3.Rel2Independent.CR != 0.50 || r3.Rel2Independent.ER != 0.25 {
+		t.Errorf("run 3 rel2 marginal = %+v", r3.Rel2Independent)
+	}
+	if r3.Cond[0][0] != 0.70 || math.Abs(r3.Cond[0][1]-0.15) > 1e-12 {
+		t.Errorf("run 3 conditional = %+v", r3.Cond)
+	}
+	// Table 3 row 4: Rel1 = (0.60, 0.20, 0.20); diag 0.40.
+	r4 := runs[3]
+	if r4.Rel1.CR != 0.60 || r4.Cond[1][1] != 0.40 {
+		t.Errorf("run 4 = %+v", r4)
+	}
+}
+
+func TestSampleCorrelatedMatchesImpliedMarginal(t *testing.T) {
+	run := Runs()[0]
+	rng := xrand.New(3)
+	counts := map[OutcomeKind]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		_, o2 := run.SampleCorrelated(rng)
+		counts[o2]++
+	}
+	implied := run.Cond.Marginal2(run.Rel1)
+	for _, k := range Kinds {
+		got := float64(counts[k]) / n
+		if math.Abs(got-implied.Prob(k)) > 0.01 {
+			t.Errorf("correlated rel2 frequency of %v = %v, want ~%v", k, got, implied.Prob(k))
+		}
+	}
+}
+
+func TestSampleIndependentUsesOwnMarginal(t *testing.T) {
+	run := Runs()[3] // rel2 marginal (0.40, 0.30, 0.30), far from rel1's
+	rng := xrand.New(4)
+	counts := map[OutcomeKind]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		_, o2 := run.SampleIndependent(rng)
+		counts[o2]++
+	}
+	for _, k := range Kinds {
+		got := float64(counts[k]) / n
+		if math.Abs(got-run.Rel2Independent.Prob(k)) > 0.01 {
+			t.Errorf("independent rel2 frequency of %v = %v, want ~%v",
+				k, got, run.Rel2Independent.Prob(k))
+		}
+	}
+}
+
+func TestLatencySharedComponent(t *testing.T) {
+	l := PaperLatency()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	const n = 300000
+	var sum1, sum2, sumProd float64
+	for i := 0; i < n; i++ {
+		t1, t2 := l.Sample(rng)
+		if t1 < 0 || t2 < 0 {
+			t.Fatal("negative execution time")
+		}
+		sum1 += t1
+		sum2 += t2
+		sumProd += t1 * t2
+	}
+	m1, m2 := sum1/n, sum2/n
+	// Mean = T1Mean + T2Mean = 1.4 for the paper's parameters.
+	if math.Abs(m1-1.4) > 0.02 || math.Abs(m2-1.4) > 0.02 {
+		t.Fatalf("means = %v, %v, want ~1.4", m1, m2)
+	}
+	// The shared T1 component induces positive covariance Var(T1) = 0.49.
+	cov := sumProd/n - m1*m2
+	if math.Abs(cov-0.49) > 0.03 {
+		t.Fatalf("cov = %v, want ~0.49 from the shared T1 draw", cov)
+	}
+}
+
+func TestLatencyValidate(t *testing.T) {
+	bad := Latency{T1Mean: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+}
+
+func TestTruthMarginalAndSampling(t *testing.T) {
+	tr := Scenario1().Truth
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3*0.3 + (1-1e-3)*0.5e-3
+	if got := tr.MarginalPB(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("marginal P_B = %v, want %v", got, want)
+	}
+	rng := xrand.New(6)
+	const n = 2000000
+	aFails, bFails, both := 0, 0, 0
+	for i := 0; i < n; i++ {
+		a, b := tr.Sample(rng)
+		if a {
+			aFails++
+		}
+		if b {
+			bFails++
+		}
+		if a && b {
+			both++
+		}
+	}
+	if got := float64(aFails) / n; math.Abs(got-1e-3) > 2e-4 {
+		t.Fatalf("P_A frequency = %v, want ~1e-3", got)
+	}
+	if got := float64(bFails) / n; math.Abs(got-want) > 2e-4 {
+		t.Fatalf("P_B frequency = %v, want ~%v", got, want)
+	}
+	// Correlation: P(both) = PA * P(B|A) = 3e-4, far above independence.
+	if got := float64(both) / n; math.Abs(got-3e-4) > 1e-4 {
+		t.Fatalf("P_AB frequency = %v, want ~3e-4", got)
+	}
+}
+
+func TestTruthValidate(t *testing.T) {
+	if err := (Truth{PA: 1.5}).Validate(); err == nil {
+		t.Fatal("PA > 1 accepted")
+	}
+}
+
+func TestScenariosValidateAndMatchPaper(t *testing.T) {
+	s1 := Scenario1()
+	if err := s1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.PriorA.Alpha != 20 || s1.PriorA.Beta != 20 || s1.PriorA.Upper != 0.002 {
+		t.Errorf("scenario 1 prior A = %+v", s1.PriorA)
+	}
+	if got := s1.PriorB.Mean(); math.Abs(got-0.8e-3) > 1e-12 {
+		t.Errorf("scenario 1 prior B mean = %v, want 0.8e-3", got)
+	}
+	if s1.Demands != 50000 || s1.Confidence != 0.99 || s1.C2Target != 1e-3 {
+		t.Errorf("scenario 1 study parameters = %+v", s1)
+	}
+
+	s2 := Scenario2()
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.PriorA.Alpha != 1 || s2.PriorA.Beta != 10 || s2.PriorA.Upper != 0.01 {
+		t.Errorf("scenario 2 prior A = %+v", s2.PriorA)
+	}
+	if got := s2.Truth.MarginalPB(); math.Abs(got-0.5e-3) > 1e-12 {
+		t.Errorf("scenario 2 marginal P_B = %v, want 0.5e-3", got)
+	}
+	// Scenario 2's true P_A is five times its prior mean — the paper's
+	// "actually significantly worse than assumed".
+	if s2.Truth.PA <= s2.PriorA.Mean() {
+		t.Error("scenario 2 truth should be worse than the prior mean")
+	}
+}
+
+func TestScenarioValidateCatchesBadFields(t *testing.T) {
+	s := Scenario1()
+	s.Demands = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero demands accepted")
+	}
+	s = Scenario1()
+	s.Confidence = 1
+	if err := s.Validate(); err == nil {
+		t.Fatal("confidence 1 accepted")
+	}
+	s = Scenario1()
+	s.C2Target = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero C2 target accepted")
+	}
+}

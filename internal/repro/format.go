@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatTable2 renders one or more switch studies as the paper's Table 2,
+// with the published values alongside when available.
+func FormatTable2(results ...*StudyResult) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	paper := PaperTable2()
+	fmt.Fprintln(w, "Table 2: Duration of managed upgrade (demands until switch)")
+	fmt.Fprintln(w, "scenario\tregime\tcriterion\tmeasured\tpaper")
+	for _, res := range results {
+		for _, rr := range res.Regimes {
+			pcell, hasPaper := paper[res.Scenario][rr.Regime]
+			pvals := [numCriteria]string{pcell.Criterion1, pcell.Criterion2, pcell.Criterion3}
+			for ci, cr := range rr.Criteria {
+				measured := "not attained"
+				if cr.Attained {
+					measured = fmt.Sprintf("%d", cr.FirstSwitch)
+					if cr.StableSwitch > cr.FirstSwitch {
+						measured += fmt.Sprintf(" (oscillates till %d)", cr.StableSwitch)
+					}
+				} else {
+					measured = fmt.Sprintf("not attained (> %d)", res.Config.MaxDemands)
+				}
+				pv := "-"
+				if hasPaper {
+					pv = pvals[ci]
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", res.Scenario, rr.Regime, cr.Criterion, measured, pv)
+			}
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatTrajectory renders a study's percentile curves as the data behind
+// Fig 7 (Scenario 1) or Fig 8 (Scenario 2).
+func FormatTrajectory(res *StudyResult) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fig := "Figure 7"
+	if strings.HasSuffix(res.Scenario, "2") {
+		fig = "Figure 8"
+	}
+	fmt.Fprintf(w, "%s: percentiles vs demands (%s)\n", fig, res.Scenario)
+	fmt.Fprintln(w, "demands\tChB 90% perfect\tChB 99% perfect\tChB 99% omission\tChB 99% back-to-back\tChA 99% perfect")
+	for _, p := range res.Trajectory {
+		fmt.Fprintf(w, "%d\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+			p.Demands, p.B90Perfect, p.B99Perfect, p.B99Omission, p.B99BackToBack, p.A99Perfect)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatAvailability renders Table 5 or Table 6 rows in the paper's
+// layout: one block per run × timeout with per-release and system
+// columns.
+func FormatAvailability(title string, rows []AvailabilityRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, "run\ttimeout\tmetric\tRel1\tRel2\tSystem")
+	for _, row := range rows {
+		r := row.Result
+		fmt.Fprintf(w, "%d\t%.1f\tMET\t%.4f\t%.4f\t%.4f\n", row.Run, row.TimeOut, r.Rel1.MET, r.Rel2.MET, r.System.MET)
+		fmt.Fprintf(w, "%d\t%.1f\tCR\t%d\t%d\t%d\n", row.Run, row.TimeOut, r.Rel1.CR, r.Rel2.CR, r.System.CR)
+		fmt.Fprintf(w, "%d\t%.1f\tEER\t%d\t%d\t%d\n", row.Run, row.TimeOut, r.Rel1.EER, r.Rel2.EER, r.System.EER)
+		fmt.Fprintf(w, "%d\t%.1f\tNER\t%d\t%d\t%d\n", row.Run, row.TimeOut, r.Rel1.NER, r.Rel2.NER, r.System.NER)
+		fmt.Fprintf(w, "%d\t%.1f\tTotal\t%d\t%d\t%d\n", row.Run, row.TimeOut, r.Rel1.Total(), r.Rel2.Total(), r.System.Total())
+		fmt.Fprintf(w, "%d\t%.1f\tNRDT\t%d\t%d\t%d\n", row.Run, row.TimeOut, r.Rel1.NRDT, r.Rel2.NRDT, r.System.NRDT)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatModeAblation renders the §4.2 operating-mode comparison.
+func FormatModeAblation(rows []ModeAblationRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Operating-mode ablation (§4.2): system outcomes on one workload")
+	fmt.Fprintln(w, "mode\tMET\tCR\tEER\tNER\tNRDT\texecutions")
+	for _, row := range rows {
+		s := row.Result.System
+		fmt.Fprintf(w, "%s\t%.4f\t%d\t%d\t%d\t%d\t%d\n",
+			row.Label, s.MET, s.CR, s.EER, s.NER, s.NRDT, s.Executions)
+	}
+	w.Flush()
+	return b.String()
+}

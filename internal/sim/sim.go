@@ -1,0 +1,143 @@
+// Package sim is a small discrete-event simulation kernel: a virtual clock
+// and a time-ordered event queue. The §5.2 availability/performance study
+// of the managed-upgrade middleware runs on it, as do the failure-injection
+// integration tests.
+//
+// Events scheduled at equal times fire in scheduling order (FIFO), which
+// keeps runs deterministic. The kernel is single-threaded by design:
+// determinism, not throughput, is the point.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrPast reports an attempt to schedule an event before the current
+// virtual time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use,
+// starting at virtual time 0.
+type Kernel struct {
+	now     float64
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// Timer is a handle to a scheduled event; Cancel prevents an event that
+// has not yet fired from running.
+type Timer struct {
+	ev *event
+}
+
+// Cancel marks the event dead. Cancelling an already-fired or
+// already-cancelled timer is a no-op. A nil Timer is also a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.do = nil
+	}
+}
+
+// Active reports whether the event is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.do != nil }
+
+type event struct {
+	time float64
+	seq  uint64
+	do   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Pending returns the number of events still queued (including cancelled
+// ones that have not been reaped yet).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules do at absolute virtual time t and returns a cancellable
+// handle. Scheduling before the current time or with a non-finite time is
+// an error; scheduling exactly at the current time is allowed and fires
+// after already-queued events at that time.
+func (k *Kernel) At(t float64, do func()) (*Timer, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: non-finite time %v", ErrPast, t)
+	}
+	if t < k.now {
+		return nil, fmt.Errorf("%w: at %v, now %v", ErrPast, t, k.now)
+	}
+	if do == nil {
+		return nil, errors.New("sim: nil event body")
+	}
+	ev := &event{time: t, seq: k.seq, do: do}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}, nil
+}
+
+// After schedules do at Now()+d.
+func (k *Kernel) After(d float64, do func()) (*Timer, error) {
+	if d < 0 || math.IsNaN(d) {
+		return nil, fmt.Errorf("%w: negative delay %v", ErrPast, d)
+	}
+	return k.At(k.now+d, do)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue drains or Stop is
+// called. It returns the number of events executed (cancelled events are
+// reaped but not counted).
+func (k *Kernel) Run() int {
+	return k.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time ≤ horizon, then advances the clock to
+// the horizon (if finite) and returns the number executed.
+func (k *Kernel) RunUntil(horizon float64) int {
+	k.stopped = false
+	executed := 0
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.time > horizon {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.do == nil {
+			continue // cancelled
+		}
+		k.now = next.time
+		do := next.do
+		next.do = nil
+		do()
+		executed++
+	}
+	if !math.IsInf(horizon, 1) && horizon > k.now && !k.stopped {
+		k.now = horizon
+	}
+	return executed
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var order []int
+	mustAt := func(tm float64, id int) {
+		t.Helper()
+		if _, err := k.At(tm, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3, 3)
+	mustAt(1, 1)
+	mustAt(2, 2)
+	if n := k.Run(); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", k.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		id := i
+		if _, err := k.At(5, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("ties broke FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulingDuringRun(t *testing.T) {
+	var k Kernel
+	var fired []float64
+	if _, err := k.At(1, func() {
+		fired = append(fired, k.Now())
+		if _, err := k.After(2, func() { fired = append(fired, k.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	var k Kernel
+	if _, err := k.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if _, err := k.At(1, func() {}); err == nil {
+		t.Fatal("past event accepted")
+	}
+	if _, err := k.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := k.At(math.NaN(), func() {}); err == nil {
+		t.Fatal("NaN time accepted")
+	}
+	if _, err := k.At(math.Inf(1), func() {}); err == nil {
+		t.Fatal("infinite time accepted")
+	}
+	if _, err := k.At(6, nil); err == nil {
+		t.Fatal("nil body accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	tm, err := k.At(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Active() {
+		t.Fatal("fresh timer not active")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+	if n := k.Run(); n != 0 {
+		t.Fatalf("executed %d, want 0", n)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	tm.Cancel() // double cancel is a no-op
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil cancel is a no-op
+	if nilTimer.Active() {
+		t.Fatal("nil timer active")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	var k Kernel
+	fired := false
+	var victim *Timer
+	if _, err := k.At(1, func() { victim.Cancel() }); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	victim, err = k.At(2, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var k Kernel
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		if _, err := k.At(tm, func() { fired = append(fired, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := k.RunUntil(2.5); n != 2 {
+		t.Fatalf("executed %d, want 2", n)
+	}
+	if k.Now() != 2.5 {
+		t.Fatalf("clock = %v, want horizon 2.5", k.Now())
+	}
+	if n := k.RunUntil(10); n != 2 {
+		t.Fatalf("executed %d more, want 2", n)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var k Kernel
+	count := 0
+	for i := 1; i <= 5; i++ {
+		if _, err := k.At(float64(i), func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := k.Run(); n != 2 {
+		t.Fatalf("executed %d, want 2 (stopped)", n)
+	}
+	// The remaining events are still there and can be resumed.
+	if n := k.Run(); n != 3 {
+		t.Fatalf("resume executed %d, want 3", n)
+	}
+}
+
+func TestManyEventsStayOrdered(t *testing.T) {
+	var k Kernel
+	// Insert times in a scrambled deterministic order.
+	const n = 5000
+	last := -1.0
+	for i := 0; i < n; i++ {
+		tm := float64((i*7919)%n) / 10
+		if _, err := k.At(tm, func() {
+			if k.Now() < last {
+				t.Fatalf("time went backwards: %v after %v", k.Now(), last)
+			}
+			last = k.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.Run(); got != n {
+		t.Fatalf("executed %d, want %d", got, n)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var k Kernel
+		for j := 0; j < 1000; j++ {
+			_, _ = k.At(float64(j%97), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,187 @@
+package soap
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// xmlSafeString is a quick generator producing strings XML can round-trip
+// (printable ASCII — the decoder rejects most control characters).
+type xmlSafeString string
+
+var _ quick.Generator = xmlSafeString("")
+
+// Generate implements quick.Generator.
+func (xmlSafeString) Generate(r *rand.Rand, size int) reflect.Value {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789<>&\"'-_.,!?()"
+	n := r.Intn(size + 1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return reflect.ValueOf(xmlSafeString(b.String()))
+}
+
+type echoPayload struct {
+	XMLName struct{} `xml:"EchoRequest"`
+	Text    string   `xml:"text"`
+	Number  int      `xml:"number"`
+	Flag    bool     `xml:"flag"`
+}
+
+// Property: envelope marshalling round-trips arbitrary payload content,
+// including XML metacharacters.
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	f := func(text xmlSafeString, number int, flag bool) bool {
+		in := echoPayload{Text: string(text), Number: number, Flag: flag}
+		env, err := Envelope(in)
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(env)
+		if err != nil {
+			return false
+		}
+		if parsed.Operation.Local != "EchoRequest" {
+			return false
+		}
+		var out echoPayload
+		if err := parsed.DecodeBody(&out); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical equality is reflexive and symmetric on round-
+// trippable payloads, and headers do not affect body comparison.
+func TestCanonicalEqualityProperty(t *testing.T) {
+	f := func(text xmlSafeString, number int) bool {
+		in := echoPayload{Text: string(text), Number: number}
+		a, err := Envelope(in)
+		if err != nil {
+			return false
+		}
+		b, err := Envelope(in, HeaderItem(`<h xmlns="urn:h">x</h>`))
+		if err != nil {
+			return false
+		}
+		pa, err1 := Parse(a)
+		pb, err2 := Parse(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !EqualCanonical(pa.BodyXML, pb.BodyXML) {
+			return false
+		}
+		return EqualCanonical(pa.BodyXML, pa.BodyXML)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical equality distinguishes payloads that differ in a
+// field value.
+func TestCanonicalInequalityProperty(t *testing.T) {
+	f := func(text xmlSafeString, n int) bool {
+		a, err := Envelope(echoPayload{Text: string(text), Number: n})
+		if err != nil {
+			return false
+		}
+		b, err := Envelope(echoPayload{Text: string(text), Number: n + 1})
+		if err != nil {
+			return false
+		}
+		pa, err1 := Parse(a)
+		pb, err2 := Parse(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return !EqualCanonical(pa.BodyXML, pb.BodyXML)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RenameRoot preserves the payload and renames exactly the root.
+func TestRenameRootProperty(t *testing.T) {
+	f := func(text xmlSafeString, number int) bool {
+		in := echoPayload{Text: string(text), Number: number}
+		env, err := Envelope(in)
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(env)
+		if err != nil {
+			return false
+		}
+		renamed, err := RenameRoot(parsed.BodyXML, "RenamedRequest")
+		if err != nil {
+			return false
+		}
+		reparsed, err := Parse(EnvelopeRaw(renamed))
+		if err != nil {
+			return false
+		}
+		if reparsed.Operation.Local != "RenamedRequest" {
+			return false
+		}
+		var out struct {
+			XMLName struct{} `xml:"RenamedRequest"`
+			Text    string   `xml:"text"`
+			Number  int      `xml:"number"`
+		}
+		if err := reparsed.DecodeBody(&out); err != nil {
+			return false
+		}
+		return out.Text == in.Text && out.Number == in.Number
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InjectElement keeps the original children and appends the new
+// one inside the root.
+func TestInjectElementProperty(t *testing.T) {
+	f := func(text xmlSafeString) bool {
+		in := echoPayload{Text: string(text), Number: 7}
+		env, err := Envelope(in)
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(env)
+		if err != nil {
+			return false
+		}
+		injected, err := InjectElement(parsed.BodyXML, []byte(`<extra>1</extra>`))
+		if err != nil {
+			return false
+		}
+		var out struct {
+			XMLName struct{} `xml:"EchoRequest"`
+			Text    string   `xml:"text"`
+			Number  int      `xml:"number"`
+			Extra   int      `xml:"extra"`
+		}
+		reparsed, err := Parse(EnvelopeRaw(injected))
+		if err != nil {
+			return false
+		}
+		if err := reparsed.DecodeBody(&out); err != nil {
+			return false
+		}
+		return out.Text == in.Text && out.Number == in.Number && out.Extra == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,613 @@
+// Package soap is a minimal SOAP 1.1 implementation over net/http,
+// sufficient for the paper's Web Service architecture: envelopes with
+// headers and faults, document-style RPC dispatch by the first body
+// element, an HTTP client, and payload canonicalization for back-to-back
+// response comparison.
+//
+// The paper's middleware intercepts SOAP messages between consumers and
+// the deployed releases of a Web Service (Figs 3-5); this package provides
+// both the endpoint runtime (Server) and the message-level primitives the
+// interceptor needs (Parse, Envelope, Fault, Canonicalize).
+package soap
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// ContentType is the SOAP 1.1 HTTP content type.
+const ContentType = "text/xml; charset=utf-8"
+
+// maxMessageBytes bounds parsed messages; a well-formed WS message in this
+// system is far smaller, and the bound keeps a malicious or broken peer
+// from exhausting memory.
+const maxMessageBytes = 10 << 20
+
+// Errors returned by parsing and dispatch.
+var (
+	// ErrNotSOAP reports a message that is not a SOAP 1.1 envelope.
+	ErrNotSOAP = errors.New("soap: not a SOAP 1.1 envelope")
+	// ErrEmptyBody reports an envelope with no operation element.
+	ErrEmptyBody = errors.New("soap: empty body")
+	// ErrNoSuchOperation reports an unknown operation name.
+	ErrNoSuchOperation = errors.New("soap: no such operation")
+)
+
+// Fault is a SOAP 1.1 fault. It implements error so handlers and clients
+// can surface it directly; a fault is the paper's canonical *evident*
+// failure at the message level.
+type Fault struct {
+	// Code is the qualified fault code ("soap:Server", "soap:Client").
+	Code string
+	// String is the human-readable fault description.
+	String string
+	// Actor optionally names the failing node.
+	Actor string
+	// Detail optionally carries application diagnostic content.
+	Detail string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// ServerFault builds a receiver-side fault.
+func ServerFault(msg string) *Fault { return &Fault{Code: "soap:Server", String: msg} }
+
+// ClientFault builds a sender-side fault.
+func ClientFault(msg string) *Fault { return &Fault{Code: "soap:Client", String: msg} }
+
+// HeaderItem is one SOAP header entry, kept as raw XML.
+type HeaderItem []byte
+
+// Parsed is a decoded SOAP envelope.
+type Parsed struct {
+	// HeaderXML is the raw inner XML of the Header element (nil if
+	// absent).
+	HeaderXML []byte
+	// BodyXML is the raw inner XML of the Body element.
+	BodyXML []byte
+	// Operation is the name of the first element in the body; its Local
+	// field names the invoked operation for RPC dispatch.
+	Operation xml.Name
+	// Fault is non-nil when the body carries a SOAP fault.
+	Fault *Fault
+}
+
+type inEnvelope struct {
+	XMLName xml.Name  `xml:"Envelope"`
+	Header  inSegment `xml:"Header"`
+	Body    inBody    `xml:"Body"`
+}
+
+type inSegment struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+type inBody struct {
+	Inner []byte `xml:",innerxml"`
+	// Fault is matched while the namespace context of the full envelope
+	// is still available; prefixes are generally unresolvable in the
+	// extracted Inner fragment.
+	Fault *inFault `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+}
+
+type inFault struct {
+	Code   string `xml:"faultcode"`
+	String string `xml:"faultstring"`
+	Actor  string `xml:"faultactor"`
+	Detail string `xml:"detail"`
+}
+
+// Parse decodes a SOAP 1.1 envelope.
+func Parse(data []byte) (*Parsed, error) {
+	if len(data) > maxMessageBytes {
+		return nil, fmt.Errorf("%w: message of %d bytes exceeds limit", ErrNotSOAP, len(data))
+	}
+	var env inEnvelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotSOAP, err)
+	}
+	if env.XMLName.Space != EnvelopeNS {
+		return nil, fmt.Errorf("%w: root namespace %q", ErrNotSOAP, env.XMLName.Space)
+	}
+	p := &Parsed{BodyXML: env.Body.Inner}
+	if len(env.Header.Inner) > 0 {
+		p.HeaderXML = env.Header.Inner
+	}
+	name, ok := firstElement(env.Body.Inner)
+	if !ok {
+		return nil, ErrEmptyBody
+	}
+	p.Operation = name
+	if f := env.Body.Fault; f != nil {
+		p.Fault = &Fault{Code: f.Code, String: f.String, Actor: f.Actor, Detail: f.Detail}
+	}
+	return p, nil
+}
+
+// DecodeBody unmarshals the first body element into v.
+func (p *Parsed) DecodeBody(v interface{}) error {
+	if err := xml.Unmarshal(p.BodyXML, v); err != nil {
+		return fmt.Errorf("soap: decoding body: %w", err)
+	}
+	return nil
+}
+
+func firstElement(inner []byte) (xml.Name, bool) {
+	dec := xml.NewDecoder(bytes.NewReader(inner))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.Name{}, false
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name, true
+		}
+	}
+}
+
+// Envelope wraps the XML marshalling of payload into a SOAP envelope.
+// Extra header items are emitted inside a Header element.
+func Envelope(payload interface{}, headers ...HeaderItem) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshalling payload: %w", err)
+	}
+	return EnvelopeRaw(inner, headers...), nil
+}
+
+// EnvelopeRaw wraps pre-marshalled body XML into a SOAP envelope.
+func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	b.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `">`)
+	if len(headers) > 0 {
+		b.WriteString(`<soap:Header>`)
+		for _, h := range headers {
+			b.Write(h)
+		}
+		b.WriteString(`</soap:Header>`)
+	}
+	b.WriteString(`<soap:Body>`)
+	b.Write(bodyXML)
+	b.WriteString(`</soap:Body></soap:Envelope>`)
+	return b.Bytes()
+}
+
+// FaultEnvelope renders a fault as a complete SOAP envelope.
+func FaultEnvelope(f *Fault) []byte {
+	var b bytes.Buffer
+	b.WriteString(`<soap:Fault><faultcode>`)
+	xml.EscapeText(&b, []byte(f.Code))
+	b.WriteString(`</faultcode><faultstring>`)
+	xml.EscapeText(&b, []byte(f.String))
+	b.WriteString(`</faultstring>`)
+	if f.Actor != "" {
+		b.WriteString(`<faultactor>`)
+		xml.EscapeText(&b, []byte(f.Actor))
+		b.WriteString(`</faultactor>`)
+	}
+	if f.Detail != "" {
+		b.WriteString(`<detail>`)
+		xml.EscapeText(&b, []byte(f.Detail))
+		b.WriteString(`</detail>`)
+	}
+	b.WriteString(`</soap:Fault>`)
+	return EnvelopeRaw(b.Bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// Request carries one dispatched operation invocation.
+type Request struct {
+	// Operation is the local name of the invoked operation.
+	Operation string
+	// Envelope is the parsed incoming message.
+	Envelope *Parsed
+	// HTTP is the underlying transport request (for peer info).
+	HTTP *http.Request
+	// ResponseHeader lets handlers and middleware attach transport
+	// metadata to the response (e.g. release version headers).
+	ResponseHeader http.Header
+}
+
+// Decode unmarshals the operation's request element into v.
+func (r *Request) Decode(v interface{}) error { return r.Envelope.DecodeBody(v) }
+
+// Raw is a pre-marshalled response body: a handler returning Raw has its
+// bytes written into the response envelope verbatim (the fault-injection
+// middleware uses this to corrupt responses below the type system).
+type Raw []byte
+
+// HandlerFunc processes one operation call. Returning a *Fault (as error)
+// sends that fault; any other error becomes a soap:Server fault. The
+// returned value is marshalled as the response body element; a Raw value
+// is written verbatim.
+type HandlerFunc func(ctx context.Context, req *Request) (interface{}, error)
+
+// Middleware wraps a handler, e.g. for fault injection or monitoring.
+type Middleware func(HandlerFunc) HandlerFunc
+
+// Server dispatches SOAP calls to registered operations. It implements
+// http.Handler. The zero value is not usable; construct with NewServer.
+type Server struct {
+	ops  map[string]HandlerFunc
+	wrap []Middleware
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer returns an empty dispatcher.
+func NewServer() *Server {
+	return &Server{ops: make(map[string]HandlerFunc)}
+}
+
+// Handle registers the handler for an operation name, replacing any
+// previous registration. Registration is not safe concurrently with
+// serving; wire the server fully before starting to listen.
+func (s *Server) Handle(operation string, h HandlerFunc) {
+	s.ops[operation] = h
+}
+
+// Use appends middleware applied to every operation (outermost first).
+func (s *Server) Use(mw Middleware) {
+	s.wrap = append(s.wrap, mw)
+}
+
+// Operations lists the registered operation names, sorted.
+func (s *Server) Operations() []string {
+	names := make([]string, 0, len(s.ops))
+	for name := range s.ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ServeHTTP implements http.Handler: one SOAP call per POST.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxMessageBytes+1))
+	if err != nil {
+		writeFault(w, ClientFault(fmt.Sprintf("reading request: %v", err)))
+		return
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		writeFault(w, ClientFault(err.Error()))
+		return
+	}
+	op := parsed.Operation.Local
+	h, ok := s.ops[op]
+	if !ok {
+		writeFault(w, ClientFault(fmt.Sprintf("%v: %s", ErrNoSuchOperation, op)))
+		return
+	}
+	for i := len(s.wrap) - 1; i >= 0; i-- {
+		h = s.wrap[i](h)
+	}
+	resp, err := h(r.Context(), &Request{Operation: op, Envelope: parsed, HTTP: r, ResponseHeader: w.Header()})
+	if err != nil {
+		var f *Fault
+		if !errors.As(err, &f) {
+			f = ServerFault(err.Error())
+		}
+		writeFault(w, f)
+		return
+	}
+	var out []byte
+	if raw, ok := resp.(Raw); ok {
+		out = EnvelopeRaw(raw)
+	} else {
+		out, err = Envelope(resp)
+		if err != nil {
+			writeFault(w, ServerFault(fmt.Sprintf("marshalling response: %v", err)))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+// writeFault sends a fault with HTTP 500, per the SOAP 1.1 HTTP binding.
+func writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(FaultEnvelope(f))
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client invokes operations on a SOAP endpoint.
+type Client struct {
+	// URL is the endpoint address.
+	URL string
+	// HTTP is the transport; nil means http.DefaultClient. Give it a
+	// timeout — an absent response within the deadline is the evident
+	// failure the middleware's availability monitoring counts.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Call invokes operation with the request payload in, decoding the
+// response body into out when out is non-nil. A SOAP fault is returned as
+// a *Fault error.
+func (c *Client) Call(ctx context.Context, operation string, in, out interface{}) error {
+	body, err := Envelope(in)
+	if err != nil {
+		return err
+	}
+	respBody, err := c.CallRaw(ctx, operation, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	parsed, err := Parse(respBody)
+	if err != nil {
+		return err
+	}
+	return parsed.DecodeBody(out)
+}
+
+// CallRaw posts a complete request envelope and returns the raw response
+// envelope. SOAP faults are detected and returned as a *Fault error; the
+// upgrade middleware builds on this primitive to proxy messages verbatim.
+func (c *Client) CallRaw(ctx context.Context, operation string, envelope []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(envelope))
+	if err != nil {
+		return nil, fmt.Errorf("soap: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", ContentType)
+	req.Header.Set("SOAPAction", `"`+operation+`"`)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: calling %s: %w", c.URL, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxMessageBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("soap: reading response: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusInternalServerError:
+		parsed, perr := Parse(data)
+		if perr == nil && parsed.Fault != nil {
+			return nil, parsed.Fault
+		}
+		return nil, fmt.Errorf("soap: HTTP 500 without parsable fault from %s", c.URL)
+	default:
+		return nil, fmt.Errorf("soap: HTTP %d from %s", resp.StatusCode, c.URL)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+
+// Canonicalize normalizes an XML fragment for byte comparison: it drops
+// comments, processing instructions and inter-element whitespace, sorts
+// attributes by name, resolves namespace prefixes, and re-encodes
+// deterministically. Two fragments that differ only in formatting or
+// prefix choice canonicalize identically, which is what the back-to-back
+// comparison of release responses (§5.1.1.3) needs.
+func Canonicalize(fragment []byte) ([]byte, error) {
+	dec := xml.NewDecoder(bytes.NewReader(fragment))
+	var b bytes.Buffer
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("soap: canonicalizing: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			b.WriteByte('<')
+			writeCanonicalName(&b, t.Name)
+			attrs := make([]xml.Attr, 0, len(t.Attr))
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue // namespaces are resolved into element names
+				}
+				attrs = append(attrs, a)
+			}
+			sort.Slice(attrs, func(i, j int) bool {
+				if attrs[i].Name.Space != attrs[j].Name.Space {
+					return attrs[i].Name.Space < attrs[j].Name.Space
+				}
+				return attrs[i].Name.Local < attrs[j].Name.Local
+			})
+			for _, a := range attrs {
+				b.WriteByte(' ')
+				writeCanonicalName(&b, a.Name)
+				b.WriteString(`="`)
+				xml.EscapeText(&b, []byte(a.Value))
+				b.WriteByte('"')
+			}
+			b.WriteByte('>')
+		case xml.EndElement:
+			depth--
+			b.WriteString("</")
+			writeCanonicalName(&b, t.Name)
+			b.WriteByte('>')
+		case xml.CharData:
+			if depth == 0 || len(bytes.TrimSpace(t)) == 0 {
+				continue
+			}
+			xml.EscapeText(&b, t)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func writeCanonicalName(b *bytes.Buffer, n xml.Name) {
+	if n.Space != "" {
+		b.WriteByte('{')
+		b.WriteString(n.Space)
+		b.WriteByte('}')
+	}
+	b.WriteString(n.Local)
+}
+
+// RenameRoot renames the first element of the fragment (and its matching
+// end tag) to newLocal, dropping any namespace prefix from the tag name.
+// The upgrade middleware uses it to translate "<op>Conf" variant requests
+// (§6.2 option 3) onto the underlying operation and back.
+func RenameRoot(fragment []byte, newLocal string) ([]byte, error) {
+	trimmed := bytes.TrimSpace(fragment)
+	if _, ok := firstElement(trimmed); !ok {
+		return nil, ErrEmptyBody
+	}
+	// Locate the root start tag: the first "<" opening a named element
+	// (skipping comments, PIs and directives).
+	start := -1
+	for i := 0; i < len(trimmed)-1; i++ {
+		if trimmed[i] != '<' {
+			continue
+		}
+		switch trimmed[i+1] {
+		case '?', '!', '/':
+			continue
+		}
+		start = i
+		break
+	}
+	if start < 0 {
+		return nil, ErrEmptyBody
+	}
+	// Extract the raw tag name as written (may include a prefix).
+	nameEnd := start + 1
+	for nameEnd < len(trimmed) && !isTagDelim(trimmed[nameEnd]) {
+		nameEnd++
+	}
+	written := string(trimmed[start+1 : nameEnd])
+
+	var b bytes.Buffer
+	b.Write(trimmed[:start+1])
+	b.WriteString(newLocal)
+	rest := trimmed[nameEnd:]
+	closeTag := []byte("</" + written + ">")
+	if idx := bytes.LastIndex(rest, closeTag); idx >= 0 {
+		b.Write(rest[:idx])
+		b.WriteString("</" + newLocal + ">")
+		b.Write(rest[idx+len(closeTag):])
+	} else {
+		b.Write(rest) // self-closing or unmatched: only the start tag renames
+	}
+	return b.Bytes(), nil
+}
+
+func isTagDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '/'
+}
+
+// EqualCanonical reports whether two XML fragments canonicalize to the
+// same bytes. Unparsable fragments compare by raw bytes.
+func EqualCanonical(a, b []byte) bool {
+	ca, errA := Canonicalize(a)
+	cb, errB := Canonicalize(b)
+	if errA != nil || errB != nil {
+		return bytes.Equal(a, b)
+	}
+	return bytes.Equal(ca, cb)
+}
+
+// InjectElement appends a child element (rendered from raw XML) at the end
+// of the first element of the given fragment and returns the new fragment.
+// The §6.2 "publish the confidence in the response" mechanism uses it to
+// add the confidence element to an operation response without
+// understanding its schema.
+func InjectElement(fragment, childXML []byte) ([]byte, error) {
+	trimmed := bytes.TrimSpace(fragment)
+	if len(trimmed) == 0 {
+		return nil, ErrEmptyBody
+	}
+	// Find the matching close of the first (root) element and insert
+	// before it. Self-closing roots are expanded.
+	dec := xml.NewDecoder(bytes.NewReader(trimmed))
+	depth := 0
+	var rootEnd int64 = -1
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("soap: injecting element: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+			if depth == 0 {
+				rootEnd = dec.InputOffset()
+			}
+		}
+		if rootEnd >= 0 {
+			break
+		}
+	}
+	if rootEnd < 0 {
+		return nil, fmt.Errorf("%w: no complete root element", ErrEmptyBody)
+	}
+	closeStart := int64(bytes.LastIndex(trimmed[:rootEnd], []byte("<")))
+	if closeStart < 0 {
+		return nil, fmt.Errorf("%w: malformed root element", ErrEmptyBody)
+	}
+	if strings.HasSuffix(string(bytes.TrimSpace(trimmed[closeStart:rootEnd])), "/>") {
+		// Self-closing root: <a/> → <a>child</a>. (Attribute values
+		// containing a literal "/>" would defeat this scan; the
+		// machine-generated payloads this proxies never contain one.)
+		name, ok := firstElement(trimmed)
+		if !ok {
+			return nil, ErrEmptyBody
+		}
+		selfClose := bytes.LastIndex(trimmed[:rootEnd], []byte("/>"))
+		if selfClose < 0 {
+			return nil, fmt.Errorf("%w: malformed self-closing root", ErrEmptyBody)
+		}
+		var b bytes.Buffer
+		b.Write(trimmed[:selfClose])
+		b.WriteByte('>')
+		b.Write(childXML)
+		b.WriteString("</" + name.Local + ">")
+		b.Write(trimmed[rootEnd:])
+		return b.Bytes(), nil
+	}
+	var b bytes.Buffer
+	b.Write(trimmed[:closeStart])
+	b.Write(childXML)
+	b.Write(trimmed[closeStart:])
+	return b.Bytes(), nil
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsupgrade/internal/xrand"
+)
+
+// Property: the regularized incomplete Beta obeys the reflection identity
+// I_x(a, b) = 1 − I_{1−x}(b, a).
+func TestRegIncBetaReflectionProperty(t *testing.T) {
+	f := func(xi, ai, bi uint8) bool {
+		x := float64(xi%99+1) / 100 // (0, 1)
+		a := float64(ai%40)/4 + 0.25
+		b := float64(bi%40)/4 + 0.25
+		left, err1 := RegIncBeta(x, a, b)
+		right, err2 := RegIncBeta(1-x, b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(left-(1-right)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Beta CDF values increase with x and quantiles invert them.
+func TestBetaQuantileInversionProperty(t *testing.T) {
+	f := func(pi, ai, bi uint8) bool {
+		p := float64(pi%99+1) / 100
+		a := float64(ai%30)/3 + 0.5
+		b := float64(bi%30)/3 + 0.5
+		q, err := BetaQuantile(p, a, b)
+		if err != nil {
+			return false
+		}
+		back, err := RegIncBeta(q, a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-p) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a normalized Grid1D is a probability distribution whose
+// quantiles are inverse to its CDF.
+func TestGridQuantileCDFInverseProperty(t *testing.T) {
+	rng := xrand.New(2024)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		g := &Grid1D{Xs: make([]float64, n), Ws: make([]float64, n)}
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += rng.Float64() + 1e-6
+			g.Xs[i] = x
+			g.Ws[i] = rng.Float64() + 1e-9
+		}
+		if err := g.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.999} {
+			q := g.Quantile(p)
+			if got := g.CDF(q); got < p-1e-9 {
+				t.Fatalf("CDF(Quantile(%v)) = %v < %v", p, got, p)
+			}
+			// The previous support point (if any) must sit below p.
+			for i, xi := range g.Xs {
+				if xi == q && i > 0 {
+					if prev := g.CDF(g.Xs[i-1]); prev >= p {
+						t.Fatalf("quantile not minimal: CDF(prev)=%v >= %v", prev, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: scaled-Beta CDFs are monotone with respect to stochastic
+// dominance in the Upper parameter: stretching the support right cannot
+// increase the CDF at a fixed point.
+func TestScaledBetaUpperDominanceProperty(t *testing.T) {
+	f := func(ai, bi uint8) bool {
+		a := float64(ai%20)/2 + 0.5
+		b := float64(bi%20)/2 + 0.5
+		narrow := ScaledBeta{Alpha: a, Beta: b, Upper: 0.001}
+		wide := ScaledBeta{Alpha: a, Beta: b, Upper: 0.002}
+		for _, x := range []float64{0.0002, 0.0005, 0.0009} {
+			cn, err1 := narrow.CDF(x)
+			cw, err2 := wide.CDF(x)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if cw > cn+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summary matches naive two-pass statistics.
+func TestSummaryMatchesNaiveProperty(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rng.Normal() * 10
+			s.Observe(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(n)
+		if math.Abs(s.Mean()-mean) > 1e-9 {
+			t.Fatalf("mean %v vs naive %v", s.Mean(), mean)
+		}
+		if math.Abs(s.Variance()-variance) > 1e-9*math.Max(1, variance) {
+			t.Fatalf("variance %v vs naive %v", s.Variance(), variance)
+		}
+	}
+}

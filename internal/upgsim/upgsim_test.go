@@ -1,0 +1,396 @@
+package upgsim
+
+import (
+	"math"
+	"testing"
+
+	"wsupgrade/internal/relmodel"
+)
+
+func paperConfig(runIdx int, correlated bool, timeout float64) Config {
+	return Config{
+		Run:        relmodel.Runs()[runIdx],
+		Correlated: correlated,
+		Latency:    relmodel.PaperLatency(),
+		TimeOut:    timeout,
+		Requests:   10000,
+		Seed:       2004,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := paperConfig(0, true, 1.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.TimeOut = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+	bad = good
+	bad.Requests = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	bad = good
+	bad.Run.Rel1.CR = 0.5 // breaks simplex
+	if err := bad.Validate(); err == nil {
+		t.Fatal("broken run accepted")
+	}
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("Simulate accepted a broken config")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := paperConfig(1, true, 2.0)
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 1
+	c, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.System == a.System {
+		t.Fatal("different seeds produced identical system tallies")
+	}
+}
+
+func TestTalliesBalance(t *testing.T) {
+	for _, correlated := range []bool{true, false} {
+		for runIdx := 0; runIdx < 4; runIdx++ {
+			res, err := Simulate(paperConfig(runIdx, correlated, 1.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := res.Config.Requests
+			for name, tot := range map[string]int{
+				"rel1":   res.Rel1.Total() + res.Rel1.NRDT,
+				"rel2":   res.Rel2.Total() + res.Rel2.NRDT,
+				"system": res.System.Total() + res.System.NRDT,
+			} {
+				if tot != n {
+					t.Fatalf("run %d correlated=%v: %s accounts for %d of %d requests",
+						runIdx+1, correlated, name, tot, n)
+				}
+			}
+		}
+	}
+}
+
+// The 1-out-of-2 architecture: the system fails to respond only when both
+// releases do, so its availability dominates each release's (paper §5.2.3
+// observation 1).
+func TestSystemAvailabilityDominates(t *testing.T) {
+	for _, correlated := range []bool{true, false} {
+		for runIdx := 0; runIdx < 4; runIdx++ {
+			for _, timeout := range []float64{1.5, 2.0, 3.0} {
+				res, err := Simulate(paperConfig(runIdx, correlated, timeout))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.System.NRDT > res.Rel1.NRDT || res.System.NRDT > res.Rel2.NRDT {
+					t.Errorf("run %d correlated=%v timeout=%v: system NRDT %d exceeds a release's (%d, %d)",
+						runIdx+1, correlated, timeout, res.System.NRDT, res.Rel1.NRDT, res.Rel2.NRDT)
+				}
+			}
+		}
+	}
+}
+
+// The system waits for the slower release and adds dT (paper §5.2.3
+// observation 2): its MET exceeds what the middleware sees from either
+// release alone.
+func TestSystemMETExceedsTruncatedReleaseMET(t *testing.T) {
+	for _, timeout := range []float64{1.5, 3.0} {
+		res, err := Simulate(paperConfig(0, true, timeout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := res.Config.Latency.DT
+		if res.System.MET < res.Rel1.TruncMET+dt-1e-9 || res.System.MET < res.Rel2.TruncMET+dt-1e-9 {
+			t.Errorf("timeout %v: system MET %v below truncated release MET + dT (%v, %v)",
+				timeout, res.System.MET, res.Rel1.TruncMET+dt, res.Rel2.TruncMET+dt)
+		}
+	}
+}
+
+// Raw per-release MET must not depend on the timeout — the paper's tables
+// show the same release MET in every timeout column.
+func TestReleaseMETIndependentOfTimeout(t *testing.T) {
+	a, err := Simulate(paperConfig(0, true, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(paperConfig(0, true, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Rel1.MET-b.Rel1.MET) > 1e-12 || math.Abs(a.Rel2.MET-b.Rel2.MET) > 1e-12 {
+		t.Fatalf("raw release MET changed with timeout: %v/%v vs %v/%v",
+			a.Rel1.MET, a.Rel2.MET, b.Rel1.MET, b.Rel2.MET)
+	}
+}
+
+// Under independence, fault tolerance works: the system returns more
+// correct responses than either release (paper §5.2.3 observation 4).
+func TestIndependenceSystemBeatsBothReleases(t *testing.T) {
+	for runIdx := 0; runIdx < 4; runIdx++ {
+		res, err := Simulate(paperConfig(runIdx, false, 3.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.System.CR <= res.Rel1.CR || res.System.CR <= res.Rel2.CR {
+			t.Errorf("run %d independent: system CR %d does not beat releases (%d, %d)",
+				runIdx+1, res.System.CR, res.Rel1.CR, res.Rel2.CR)
+		}
+	}
+}
+
+// Under correlation the system still at least beats the worse release
+// (paper §5.2.3 observation 3, runs 2-4).
+func TestCorrelatedSystemBeatsWorseRelease(t *testing.T) {
+	for runIdx := 1; runIdx < 4; runIdx++ { // runs 2-4: rel2 clearly worse
+		res, err := Simulate(paperConfig(runIdx, true, 3.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		worse := res.Rel2.CR
+		if res.Rel1.CR < worse {
+			worse = res.Rel1.CR
+		}
+		if res.System.CR < worse {
+			t.Errorf("run %d correlated: system CR %d below worse release %d",
+				runIdx+1, res.System.CR, worse)
+		}
+	}
+}
+
+// A longer timeout collects more responses: NRDT decreases monotonically
+// in TimeOut for releases and system alike.
+func TestNRDTDecreasesWithTimeout(t *testing.T) {
+	var prev *Result
+	for _, timeout := range []float64{1.5, 2.0, 3.0} {
+		res, err := Simulate(paperConfig(0, true, timeout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if res.Rel1.NRDT > prev.Rel1.NRDT || res.Rel2.NRDT > prev.Rel2.NRDT ||
+				res.System.NRDT > prev.System.NRDT {
+				t.Errorf("NRDT rose when timeout grew to %v: %+v -> %+v",
+					timeout, prev.System, res.System)
+			}
+		}
+		prev = res
+	}
+}
+
+// Release outcome frequencies among received responses should track the
+// configured marginals.
+func TestOutcomeFrequenciesMatchModel(t *testing.T) {
+	res, err := Simulate(paperConfig(0, false, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := float64(res.Rel1.Total())
+	if got := float64(res.Rel1.CR) / tot; math.Abs(got-0.70) > 0.02 {
+		t.Errorf("rel1 CR share = %v, want ~0.70", got)
+	}
+	if got := float64(res.Rel1.EER) / tot; math.Abs(got-0.15) > 0.02 {
+		t.Errorf("rel1 EER share = %v, want ~0.15", got)
+	}
+	// Correlated regime: rel2 share follows the implied marginal, not
+	// Table 3's nominal.
+	resC, err := Simulate(paperConfig(2, true, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied := resC.Config.Run.Cond.Marginal2(resC.Config.Run.Rel1)
+	totC := float64(resC.Rel2.Total())
+	if got := float64(resC.Rel2.CR) / totC; math.Abs(got-implied.CR) > 0.02 {
+		t.Errorf("correlated rel2 CR share = %v, want ~%v", got, implied.CR)
+	}
+}
+
+// System MET must never exceed TimeOut + dT (eq. 8 upper bound).
+func TestSystemMETBoundedByTimeout(t *testing.T) {
+	for _, timeout := range []float64{1.5, 2.0, 3.0} {
+		res, err := Simulate(paperConfig(3, true, timeout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.System.MET > timeout+res.Config.Latency.DT {
+			t.Errorf("system MET %v exceeds bound %v", res.System.MET, timeout+res.Config.Latency.DT)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ParallelReliability:    "parallel-reliability",
+		ParallelResponsiveness: "parallel-responsiveness",
+		ParallelDynamic:        "parallel-dynamic",
+		Sequential:             "sequential",
+		Mode(99):               "Mode(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestModeValidation(t *testing.T) {
+	cfg := paperConfig(0, true, 1.5)
+	cfg.Mode = Mode(99)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	cfg = paperConfig(0, true, 1.5)
+	cfg.Mode = ParallelDynamic
+	cfg.Quorum = 3
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("quorum 3 with 2 releases accepted")
+	}
+}
+
+// Mode 2 trades reliability for latency: it must respond no slower than
+// mode 1 on average and consume the same capacity.
+func TestResponsivenessFasterThanReliability(t *testing.T) {
+	base := paperConfig(0, true, 3.0)
+	rel, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.Mode = ParallelResponsiveness
+	resp, err := Simulate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.System.MET >= rel.System.MET {
+		t.Fatalf("responsiveness MET %v not below reliability MET %v",
+			resp.System.MET, rel.System.MET)
+	}
+	if resp.System.Executions != rel.System.Executions {
+		t.Fatalf("parallel modes consumed different capacity: %d vs %d",
+			resp.System.Executions, rel.System.Executions)
+	}
+	// Availability is unchanged: both modes fail only when both releases
+	// stay silent.
+	if resp.System.NRDT != rel.System.NRDT {
+		t.Fatalf("NRDT differs between parallel modes: %d vs %d",
+			resp.System.NRDT, rel.System.NRDT)
+	}
+}
+
+// Mode 3 with quorum 2 must coincide with mode 1 for two releases.
+func TestDynamicQuorum2MatchesReliability(t *testing.T) {
+	base := paperConfig(1, true, 2.0)
+	rel, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := base
+	dyn.Mode = ParallelDynamic
+	dyn.Quorum = 2
+	got, err := Simulate(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System.CR != rel.System.CR || got.System.EER != rel.System.EER ||
+		got.System.NER != rel.System.NER || got.System.NRDT != rel.System.NRDT {
+		t.Fatalf("dynamic(q=2) system %+v differs from reliability %+v",
+			got.System, rel.System)
+	}
+	if math.Abs(got.System.MET-rel.System.MET) > 1e-9 {
+		t.Fatalf("dynamic(q=2) MET %v differs from reliability %v",
+			got.System.MET, rel.System.MET)
+	}
+}
+
+// Mode 3 with quorum 1 adjudicates on the first response: faster than
+// quorum 2.
+func TestDynamicQuorum1Faster(t *testing.T) {
+	base := paperConfig(0, true, 3.0)
+	base.Mode = ParallelDynamic
+	base.Quorum = 2
+	q2, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Quorum = 1
+	q1, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.System.MET >= q2.System.MET {
+		t.Fatalf("quorum-1 MET %v not below quorum-2 MET %v", q1.System.MET, q2.System.MET)
+	}
+}
+
+// Mode 4 halves server capacity when the first release mostly works, at
+// the cost of NER exposure (no cross-check is possible).
+func TestSequentialSavesCapacity(t *testing.T) {
+	base := paperConfig(0, true, 3.0)
+	par, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := base
+	seq.Mode = Sequential
+	got, err := Simulate(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System.Executions >= par.System.Executions {
+		t.Fatalf("sequential used %d executions, parallel %d", got.System.Executions, par.System.Executions)
+	}
+	// Release 1 responds within 3.0s with CR or NER ~66% of the time, so
+	// release 2 should execute for roughly the remaining third.
+	if got.Rel2.Executed == 0 || got.Rel2.Executed > base.Requests/2 {
+		t.Fatalf("sequential rel2 executed %d times, expected a modest fraction of %d",
+			got.Rel2.Executed, base.Requests)
+	}
+	// All requests still produce an outcome.
+	if got.System.Total()+got.System.NRDT != base.Requests {
+		t.Fatalf("sequential accounts for %d of %d requests",
+			got.System.Total()+got.System.NRDT, base.Requests)
+	}
+}
+
+// Sequential retries tolerate evident failures: the system's evident
+// failure share must be below release 1's.
+func TestSequentialMasksEvidentFailures(t *testing.T) {
+	cfg := paperConfig(0, false, 3.0)
+	cfg.Mode = Sequential
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1Share := float64(res.Rel1.EER) / float64(res.Rel1.Executed)
+	sysShare := float64(res.System.EER) / float64(cfg.Requests)
+	if sysShare >= rel1Share {
+		t.Fatalf("sequential system EER share %v not below rel1 %v", sysShare, rel1Share)
+	}
+}
+
+func BenchmarkSimulate10k(b *testing.B) {
+	cfg := paperConfig(0, true, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
