@@ -17,6 +17,7 @@ import (
 
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/relmodel"
 	"wsupgrade/internal/repro"
@@ -289,6 +290,112 @@ func BenchmarkEngineProxy(b *testing.B) {
 		}
 		if out.Sum != i+1 {
 			b.Fatalf("sum = %d", out.Sum)
+		}
+	}
+}
+
+// BenchmarkEngineProxyParallel measures middleware request throughput
+// under concurrent consumers — the dispatch hot path must not serialize
+// requests on an engine-wide mutex.
+func BenchmarkEngineProxyParallel(b *testing.B) {
+	oldRel, err := service.New(service.DemoContract("1.0"), service.DemoBehaviours(), service.FaultPlan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newRel, err := service.New(service.DemoContract("1.1"), service.DemoBehaviours(), service.FaultPlan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldTS := httptest.NewServer(oldRel.Handler())
+	defer oldTS.Close()
+	newTS := httptest.NewServer(newRel.Handler())
+	defer newTS.Close()
+
+	engine, err := NewEngine(EngineConfig{
+		Releases: []Endpoint{
+			{Version: "1.0", URL: oldTS.URL},
+			{Version: "1.1", URL: newTS.URL},
+		},
+		Oracle: oracle.Header{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	proxy := httptest.NewServer(engine.Handler())
+	defer proxy.Close()
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &soap.Client{URL: proxy.URL, HTTP: &http.Client{Timeout: 5 * time.Second}}
+		for pb.Next() {
+			var out service.AddResponse
+			if err := client.Call(ctx, "add", service.AddRequest{A: 2, B: 1}, &out); err != nil {
+				b.Fatal(err)
+			}
+			if out.Sum != 3 {
+				b.Fatalf("sum = %d", out.Sum)
+			}
+		}
+	})
+}
+
+// BenchmarkMonitorNoteParallel measures the monitoring subsystem's write
+// path under concurrent recorders — every dispatched request ends in a
+// Note call, so this must not become the serialization point.
+func BenchmarkMonitorNoteParallel(b *testing.B) {
+	m := monitor.New()
+	rec := monitor.Record{
+		Operation: "add",
+		Winner:    "1.1",
+		Joint:     bayes.NeitherFails,
+		Releases: []monitor.Observation{
+			{Release: "1.0", Responded: true, Judged: true, Latency: 3 * time.Millisecond},
+			{Release: "1.1", Responded: true, Judged: true, Latency: 2 * time.Millisecond},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Note(rec)
+		}
+	})
+	if got := m.Joint().N; got != b.N {
+		b.Fatalf("joint N = %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkMonitorNote measures the single-threaded write path cost.
+func BenchmarkMonitorNote(b *testing.B) {
+	m := monitor.New()
+	rec := monitor.Record{
+		Operation: "add",
+		Winner:    "1.1",
+		Joint:     bayes.NeitherFails,
+		Releases: []monitor.Observation{
+			{Release: "1.0", Responded: true, Judged: true, Latency: 3 * time.Millisecond},
+			{Release: "1.1", Responded: true, Judged: true, Latency: 2 * time.Millisecond},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Note(rec)
+	}
+}
+
+// BenchmarkSOAPEnvelopeRaw measures envelope construction, which runs at
+// least twice per proxied request (request re-wrap and response write).
+func BenchmarkSOAPEnvelopeRaw(b *testing.B) {
+	body := []byte(`<addResponse><sum>42</sum></addResponse>`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if env := soap.EnvelopeRaw(body); len(env) == 0 {
+			b.Fatal("empty envelope")
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module wsupgrade
+
+go 1.24

@@ -114,8 +114,32 @@ func (c *JointCounts) Add(o JointOutcome) {
 	}
 }
 
+// Merge folds another record into c field-wise. Lock-striped observation
+// stores (the sharded monitor) accumulate partial records per shard and
+// merge them on the read side, so the inference always sees a record
+// equivalent to a single sequential accumulator.
+func (c *JointCounts) Merge(o JointCounts) {
+	c.N += o.N
+	c.Both += o.Both
+	c.AOnly += o.AOnly
+	c.BOnly += o.BOnly
+}
+
 // Neither returns r4 = N − r1 − r2 − r3.
 func (c JointCounts) Neither() int { return c.N - c.Both - c.AOnly - c.BOnly }
+
+// JointSource is the read-side contract between an observation store and
+// the confidence machinery: a pooled Table 1 record and its restriction
+// to a single operation (§6.2). The monitoring subsystem implements it;
+// inference consumers should depend on this interface rather than on a
+// concrete store, so the store's internal layout (single-lock, sharded,
+// remote) can change freely.
+type JointSource interface {
+	// Joint returns the accumulated pairwise observation record.
+	Joint() JointCounts
+	// JointFor returns the record restricted to one operation.
+	JointFor(operation string) JointCounts
+}
 
 // AFailures returns the recorded failures of the old release (r1 + r2).
 func (c JointCounts) AFailures() int { return c.Both + c.AOnly }

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsupgrade/internal/adjudicate"
@@ -208,6 +209,42 @@ type Config struct {
 	Store io.Writer
 }
 
+// engineState is the complete dispatch-relevant configuration, swapped
+// atomically as one immutable value. The request hot path loads it with
+// a single atomic pointer read and never takes the engine mutex; writers
+// (the management subsystem: SetPhase, SetMode, SetTimeout, AddRelease,
+// RemoveRelease, CheckHealth, the automatic switch policy) serialize on
+// Engine.mu, copy the current state, and publish the successor.
+//
+// An *engineState must never be mutated after publication: releases and
+// down are owned by the state value and shared by every reader.
+type engineState struct {
+	releases   []Endpoint
+	down       map[string]bool // releases marked unavailable by health checks; nil when none
+	phase      Phase
+	mode       Mode
+	quorum     int
+	timeout    time.Duration
+	switchedAt int // joint demands when auto-switch fired; 0 = not yet
+}
+
+// clone returns a deep copy safe to mutate before publication.
+func (s *engineState) clone() *engineState {
+	c := *s
+	c.releases = append([]Endpoint(nil), s.releases...)
+	if len(s.down) > 0 {
+		c.down = make(map[string]bool, len(s.down))
+		for k, v := range s.down {
+			if v {
+				c.down[k] = true
+			}
+		}
+	} else {
+		c.down = nil
+	}
+	return &c
+}
+
 // Engine is the managed-upgrade middleware. It implements http.Handler
 // (the SOAP endpoint); Handler() adds /wsdl and /healthz.
 // Construct with New; call Close to drain background monitoring work.
@@ -219,17 +256,22 @@ type Engine struct {
 	mon       *monitor.Monitor
 	inference *bayes.WhiteBox
 
-	mu         sync.Mutex
-	releases   []Endpoint
-	down       map[string]bool // releases marked unavailable by health checks
-	phase      Phase
-	mode       Mode
-	quorum     int
-	timeout    time.Duration
-	rng        *xrand.Rand
-	switchedAt int // joint demands when auto-switch fired; 0 = not yet
+	state atomic.Pointer[engineState]
+	mu    sync.Mutex // serializes state writers (copy-on-write publishers)
+
+	// Adjudication tie-breaking draws from a pool of deterministic
+	// generators: one atomic-free Get per request instead of an
+	// engine-wide lock. rngMaster only seeds new pool members.
+	rngMu     sync.Mutex
+	rngMaster *xrand.Rand
+	rngPool   sync.Pool
 
 	policyMu sync.Mutex // serializes posterior evaluation
+
+	// healthCheckDone, when set before StartHealthChecks, is called after
+	// every periodic probe round. Tests use it to synchronize on prober
+	// progress without sleeping.
+	healthCheckDone func()
 
 	wg sync.WaitGroup
 }
@@ -315,17 +357,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:      cfg,
-		adjudic:  cfg.Adjudicator,
-		oracle:   cfg.Oracle,
+		cfg:       cfg,
+		adjudic:   cfg.Adjudicator,
+		oracle:    cfg.Oracle,
+		rngMaster: xrand.New(cfg.Seed),
+	}
+	e.state.Store(&engineState{
 		releases: append([]Endpoint(nil), cfg.Releases...),
-		down:     make(map[string]bool),
 		phase:    cfg.InitialPhase,
 		mode:     cfg.Mode,
 		quorum:   cfg.Quorum,
 		timeout:  cfg.Timeout,
-		rng:      xrand.New(cfg.Seed),
-	}
+	})
 	if cfg.HTTP != nil {
 		e.client = cfg.HTTP
 	} else {
@@ -374,37 +417,46 @@ func (e *Engine) Close() error {
 // Monitor exposes the monitoring subsystem.
 func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
 
-// Phase returns the current lifecycle phase.
-func (e *Engine) Phase() Phase {
+// updateState publishes a successor state built by mutate, serialized
+// against every other writer. mutate receives a private clone; returning
+// an error discards it without publication.
+func (e *Engine) updateState(mutate func(*engineState) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.phase
+	next := e.state.Load().clone()
+	if err := mutate(next); err != nil {
+		return err
+	}
+	e.state.Store(next)
+	return nil
+}
+
+// Phase returns the current lifecycle phase.
+func (e *Engine) Phase() Phase {
+	return e.state.Load().phase
 }
 
 // SetPhase transitions the lifecycle manually.
 func (e *Engine) SetPhase(p Phase) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := validatePhase(p, len(e.releases)); err != nil {
-		return err
-	}
-	e.phase = p
-	return nil
+	return e.updateState(func(s *engineState) error {
+		if err := validatePhase(p, len(s.releases)); err != nil {
+			return err
+		}
+		s.phase = p
+		return nil
+	})
 }
 
 // SwitchedAt reports the joint-demand count at which the automatic policy
 // switched to the new release (0, false if it has not).
 func (e *Engine) SwitchedAt() (int, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.switchedAt, e.switchedAt > 0
+	at := e.state.Load().switchedAt
+	return at, at > 0
 }
 
 // Releases returns the deployed releases, oldest first.
 func (e *Engine) Releases() []Endpoint {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Endpoint(nil), e.releases...)
+	return append([]Endpoint(nil), e.state.Load().releases...)
 }
 
 // AddRelease deploys a release online; it becomes the newest.
@@ -412,102 +464,88 @@ func (e *Engine) AddRelease(ep Endpoint) error {
 	if ep.Version == "" || ep.URL == "" {
 		return fmt.Errorf("%w: release needs version and URL", ErrBadConfig)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, r := range e.releases {
-		if r.Version == ep.Version {
-			return fmt.Errorf("%w: duplicate release %q", ErrBadConfig, ep.Version)
+	return e.updateState(func(s *engineState) error {
+		for _, r := range s.releases {
+			if r.Version == ep.Version {
+				return fmt.Errorf("%w: duplicate release %q", ErrBadConfig, ep.Version)
+			}
 		}
-	}
-	e.releases = append(e.releases, ep)
-	return nil
+		s.releases = append(s.releases, ep)
+		return nil
+	})
 }
 
 // RemoveRelease phases a release out online. The last release cannot be
 // removed, and removing below two releases forces PhaseNewOnly.
 func (e *Engine) RemoveRelease(version string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	idx := -1
-	for i, r := range e.releases {
-		if r.Version == version {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("%w: %q", ErrUnknownRelease, version)
-	}
-	if len(e.releases) == 1 {
-		return fmt.Errorf("%w: cannot remove the only release", ErrBadPhase)
-	}
-	e.releases = append(e.releases[:idx], e.releases[idx+1:]...)
-	if len(e.releases) < 2 && (e.phase == PhaseObservation || e.phase == PhaseParallel) {
-		e.phase = PhaseNewOnly
-	}
-	return nil
-}
-
-// snapshot returns the state a request handler works with.
-func (e *Engine) snapshot() ([]Endpoint, Phase) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Endpoint(nil), e.releases...), e.phase
-}
-
-// dispatchState atomically reads everything one fan-out needs.
-func (e *Engine) dispatchState() ([]Endpoint, Phase, Mode, int, time.Duration, map[string]bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var down map[string]bool
-	if len(e.down) > 0 {
-		down = make(map[string]bool, len(e.down))
-		for k, v := range e.down {
-			if v {
-				down[k] = true
+	return e.updateState(func(s *engineState) error {
+		idx := -1
+		for i, r := range s.releases {
+			if r.Version == version {
+				idx = i
+				break
 			}
 		}
-	}
-	return append([]Endpoint(nil), e.releases...), e.phase, e.mode, e.quorum, e.timeout, down
+		if idx < 0 {
+			return fmt.Errorf("%w: %q", ErrUnknownRelease, version)
+		}
+		if len(s.releases) == 1 {
+			return fmt.Errorf("%w: cannot remove the only release", ErrBadPhase)
+		}
+		s.releases = append(s.releases[:idx], s.releases[idx+1:]...)
+		if len(s.releases) < 2 && (s.phase == PhaseObservation || s.phase == PhaseParallel) {
+			s.phase = PhaseNewOnly
+		}
+		return nil
+	})
+}
+
+// snapshot returns the state a request handler works with. The returned
+// slice is shared with the immutable state value and must not be mutated.
+func (e *Engine) snapshot() ([]Endpoint, Phase) {
+	s := e.state.Load()
+	return s.releases, s.phase
+}
+
+// dispatchState atomically reads everything one fan-out needs: a single
+// atomic load, no lock, no copying — the hot path's whole read side.
+func (e *Engine) dispatchState() *engineState {
+	return e.state.Load()
 }
 
 // Mode returns the current fan-out mode.
 func (e *Engine) Mode() Mode {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.mode
+	return e.state.Load().mode
 }
 
 // SetMode reconfigures the fan-out mode online — §4.2's "the number of
 // responses and the timeout can be changed dynamically". quorum applies
 // to ModeDynamic and is ignored otherwise.
 func (e *Engine) SetMode(mode Mode, quorum int) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	switch mode {
-	case ModeReliability, ModeResponsiveness, ModeSequential:
-	case ModeDynamic:
-		if quorum == 0 {
-			quorum = 1
+	return e.updateState(func(s *engineState) error {
+		switch mode {
+		case ModeReliability, ModeResponsiveness, ModeSequential:
+		case ModeDynamic:
+			if quorum == 0 {
+				quorum = 1
+			}
+			if quorum < 1 || quorum > len(s.releases) {
+				return fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, quorum, len(s.releases))
+			}
+		default:
+			return fmt.Errorf("%w: mode %v", ErrBadConfig, mode)
 		}
-		if quorum < 1 || quorum > len(e.releases) {
-			return fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, quorum, len(e.releases))
+		s.mode = mode
+		if mode == ModeDynamic {
+			s.quorum = quorum
 		}
-	default:
-		return fmt.Errorf("%w: mode %v", ErrBadConfig, mode)
-	}
-	e.mode = mode
-	if mode == ModeDynamic {
-		e.quorum = quorum
-	}
-	return nil
+		return nil
+	})
 }
 
 // Timeout returns the current fan-out deadline.
 func (e *Engine) Timeout() time.Duration {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.timeout
+	return e.state.Load().timeout
 }
 
 // SetTimeout reconfigures the fan-out deadline online.
@@ -515,11 +553,31 @@ func (e *Engine) SetTimeout(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("%w: timeout %v", ErrBadConfig, d)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.timeout = d
-	return nil
+	return e.updateState(func(s *engineState) error {
+		s.timeout = d
+		return nil
+	})
 }
+
+// ---------------------------------------------------------------------------
+// Adjudication tie-breaking randomness
+
+// getRNG hands one generator to a request. Generators are pooled; a
+// fresh one is split off the seeded master only when the pool is empty.
+// Every stream derives deterministically from Config.Seed, but the
+// assignment of streams to requests depends on scheduling and on GC
+// (sync.Pool may drop members), so individual tie-breaks are not
+// replayable across runs — only statistically reproducible.
+func (e *Engine) getRNG() *xrand.Rand {
+	if r, ok := e.rngPool.Get().(*xrand.Rand); ok {
+		return r
+	}
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return e.rngMaster.Split()
+}
+
+func (e *Engine) putRNG(r *xrand.Rand) { e.rngPool.Put(r) }
 
 // ---------------------------------------------------------------------------
 // Health checking and recovery (§4.1's management subsystem)
@@ -549,11 +607,19 @@ func (e *Engine) CheckHealth(ctx context.Context) []Health {
 	}
 	wg.Wait()
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, h := range results {
-		e.down[h.Release] = !h.Up
-	}
+	_ = e.updateState(func(s *engineState) error {
+		for _, h := range results {
+			if h.Up {
+				delete(s.down, h.Release)
+				continue
+			}
+			if s.down == nil {
+				s.down = make(map[string]bool)
+			}
+			s.down[h.Release] = true
+		}
+		return nil
+	})
 	return results
 }
 
@@ -581,9 +647,7 @@ func (e *Engine) probe(ctx context.Context, rel Endpoint) Health {
 
 // Down reports whether a release is currently marked unavailable.
 func (e *Engine) Down(version string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.down[version]
+	return e.state.Load().down[version]
 }
 
 // StartHealthChecks runs CheckHealth every interval until the returned
@@ -607,6 +671,9 @@ func (e *Engine) StartHealthChecks(interval time.Duration) (stop func(), err err
 				ctx, cancel := context.WithTimeout(context.Background(), interval)
 				e.CheckHealth(ctx)
 				cancel()
+				if e.healthCheckDone != nil {
+					e.healthCheckDone()
+				}
 			}
 		}
 	}()
@@ -764,7 +831,8 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	if adj == nil {
 		adj = e.adjudic
 	}
-	releases, phase, mode, quorum, timeout, down := e.dispatchState()
+	st := e.dispatchState()
+	releases, phase, mode, quorum, timeout := st.releases, st.phase, st.mode, st.quorum, st.timeout
 	oldest, newest := releases[0], releases[len(releases)-1]
 
 	var targets []Endpoint
@@ -779,10 +847,10 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	// Health-checked releases marked down are skipped (the management
 	// subsystem's recovery handling, §4.1) — unless that would leave no
 	// targets, in which case the calls proceed and fail honestly.
-	if len(down) > 0 {
+	if len(st.down) > 0 {
 		up := targets[:0:0]
 		for _, t := range targets {
-			if !down[t.Version] {
+			if !st.down[t.Version] {
 				up = append(up, t)
 			}
 		}
@@ -793,9 +861,9 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 
 	deliverFrom := func(collected []adjudicate.Reply) (adjudicate.Reply, error) {
 		rule := e.deliveryAdjudicator(phase, oldest, newest, adj)
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		return rule.Adjudicate(collected, e.rng)
+		rng := e.getRNG()
+		defer e.putRNG(rng)
+		return rule.Adjudicate(collected, rng)
 	}
 
 	// Release calls are bounded by the engine timeout rather than the
@@ -1024,10 +1092,7 @@ func (e *Engine) evaluatePolicy() {
 	e.policyMu.Lock()
 	defer e.policyMu.Unlock()
 
-	e.mu.Lock()
-	phase := e.phase
-	e.mu.Unlock()
-	if phase == PhaseNewOnly {
+	if e.state.Load().phase == PhaseNewOnly {
 		return
 	}
 	counts := e.mon.Joint()
@@ -1040,12 +1105,13 @@ func (e *Engine) evaluatePolicy() {
 		return
 	}
 	if p.Criterion.Satisfied(post) {
-		e.mu.Lock()
-		if e.phase != PhaseNewOnly {
-			e.phase = PhaseNewOnly
-			e.switchedAt = counts.N
-		}
-		e.mu.Unlock()
+		_ = e.updateState(func(s *engineState) error {
+			if s.phase != PhaseNewOnly {
+				s.phase = PhaseNewOnly
+				s.switchedAt = counts.N
+			}
+			return nil
+		})
 	}
 }
 
@@ -1271,9 +1337,8 @@ func (e *Engine) RegistryEntry(name, endpoint string) registry.Entry {
 }
 
 func (e *Engine) newestVersion() string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.releases[len(e.releases)-1].Version
+	releases := e.state.Load().releases
+	return releases[len(releases)-1].Version
 }
 
 func round6(v float64) float64 {

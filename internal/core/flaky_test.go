@@ -24,11 +24,17 @@ func newFlakyRelease(t *testing.T, failuresPerRequest int) *httptest.Server {
 	var mu sync.Mutex
 	attempts := 0
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Only SOAP calls consume the failure schedule; health probes and
+		// other GETs must not skew which retry attempt succeeds.
+		if r.Method != http.MethodPost {
+			inner.ServeHTTP(w, r)
+			return
+		}
 		mu.Lock()
 		attempts++
 		reject := attempts%(failuresPerRequest+1) != 0
 		mu.Unlock()
-		if reject && r.Method == http.MethodPost {
+		if reject {
 			http.Error(w, "transient overload", http.StatusServiceUnavailable)
 			return
 		}

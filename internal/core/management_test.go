@@ -172,13 +172,28 @@ func TestStartHealthChecks(t *testing.T) {
 		Releases: []Endpoint{old, {Version: "1.1", URL: newTS.URL}},
 		Timeout:  500 * time.Millisecond,
 	})
+	// Synchronize on prober rounds via the test hook instead of sleeping.
+	rounds := make(chan struct{}, 1)
+	e.healthCheckDone = func() {
+		select {
+		case rounds <- struct{}{}:
+		default:
+		}
+	}
 	stop, err := e.StartHealthChecks(20 * time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for !e.Down("1.1") && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	deadline := time.Now().Add(10 * time.Second)
+	if d, ok := t.Deadline(); ok && d.Before(deadline) {
+		deadline = d.Add(-time.Second)
+	}
+	for !e.Down("1.1") {
+		select {
+		case <-rounds:
+		case <-time.After(time.Until(deadline)):
+			t.Fatal("timed out waiting for a probe round")
+		}
 	}
 	stop()
 	stop() // idempotent

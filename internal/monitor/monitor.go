@@ -8,7 +8,14 @@
 // writer.
 //
 // A Monitor is safe for concurrent use by the request handlers of the
-// upgrade middleware.
+// upgrade middleware, and is built for them: writes (Note) are striped
+// across lock-sharded accumulators so concurrent recorders do not
+// serialize on one mutex, and the bounded event log is a sequence-stamped
+// ring with per-slot locking. Reads (Joint, JointFor, Stats,
+// SlowResponses) aggregate across the shards; because every record lands
+// in exactly one shard, aggregated totals are exact — no observation is
+// double-counted or lost — although a read that races a write may or may
+// not include that single in-flight record.
 package monitor
 
 import (
@@ -16,7 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsupgrade/internal/bayes"
@@ -94,29 +103,68 @@ const (
 	latencyRange    = 60 * time.Second
 )
 
+// numShards stripes the write path. Must be a power of two. 32 shards
+// keep mutex hand-offs negligible up to well past the core counts this
+// middleware deploys on, at ~(releases × 16 KiB) memory per shard.
+const numShards = 32
+
 type releaseAgg struct {
 	demands, responses, evident, judgedFailed int
 	latency                                   stats.Summary
 	latencyHist                               *stats.Histogram
 }
 
-// Monitor accumulates records. Construct with New.
-type Monitor struct {
+// merge folds another accumulator into agg.
+func (agg *releaseAgg) merge(o *releaseAgg) {
+	agg.demands += o.demands
+	agg.responses += o.responses
+	agg.evident += o.evident
+	agg.judgedFailed += o.judgedFailed
+	agg.latency.Merge(o.latency)
+	if err := agg.latencyHist.Merge(o.latencyHist); err != nil {
+		panic("monitor: merging latency histograms: " + err.Error()) // identical static bounds, unreachable
+	}
+}
+
+func newReleaseAgg() *releaseAgg {
+	hist, err := stats.NewHistogram(0, latencyRange.Seconds(), latencyBinCount)
+	if err != nil {
+		panic("monitor: latency histogram: " + err.Error()) // static bounds, unreachable
+	}
+	return &releaseAgg{latencyHist: hist}
+}
+
+// shard is one lock-striped bucket of the observation store.
+type shard struct {
 	mu       sync.Mutex
 	releases map[string]*releaseAgg
 	joint    bayes.JointCounts
 	perOp    map[string]bayes.JointCounts
-	log      []Record
-	logCap   int
-	sink     io.Writer
-	sinkErr  error
 }
+
+// Monitor accumulates records. Construct with New.
+type Monitor struct {
+	shards [numShards]*shard
+	// next round-robins Note calls across the shards; uniform striping
+	// beats key hashing here because one hot operation must still spread.
+	next atomic.Uint64
+
+	ring *logRing // nil when the event log is disabled
+
+	sinkMu  sync.Mutex
+	sink    io.Writer
+	sinkErr error
+
+	logCap int
+}
+
+var _ bayes.JointSource = (*Monitor)(nil)
 
 // Option configures a Monitor.
 type Option func(*Monitor)
 
 // WithLogCapacity bounds the in-memory event log (default 4096 records;
-// older records are dropped first).
+// older records are dropped first; 0 disables the log).
 func WithLogCapacity(n int) Option {
 	return func(m *Monitor) { m.logCap = n }
 }
@@ -130,30 +178,31 @@ func WithSink(w io.Writer) Option {
 
 // New returns an empty monitor.
 func New(opts ...Option) *Monitor {
-	m := &Monitor{
-		releases: make(map[string]*releaseAgg),
-		perOp:    make(map[string]bayes.JointCounts),
-		logCap:   4096,
+	m := &Monitor{logCap: 4096}
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			releases: make(map[string]*releaseAgg),
+			perOp:    make(map[string]bayes.JointCounts),
+		}
 	}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.logCap > 0 {
+		m.ring = newLogRing(m.logCap)
 	}
 	return m
 }
 
 // Note records one demand.
 func (m *Monitor) Note(rec Record) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shards[m.next.Add(1)&(numShards-1)]
+	sh.mu.Lock()
 	for _, obs := range rec.Releases {
-		agg, ok := m.releases[obs.Release]
+		agg, ok := sh.releases[obs.Release]
 		if !ok {
-			hist, err := stats.NewHistogram(0, latencyRange.Seconds(), latencyBinCount)
-			if err != nil {
-				panic("monitor: latency histogram: " + err.Error()) // static bounds, unreachable
-			}
-			agg = &releaseAgg{latencyHist: hist}
-			m.releases[obs.Release] = agg
+			agg = newReleaseAgg()
+			sh.releases[obs.Release] = agg
 		}
 		agg.demands++
 		if obs.Responded {
@@ -169,22 +218,23 @@ func (m *Monitor) Note(rec Record) {
 		}
 	}
 	if rec.Joint != 0 {
-		m.joint.Add(rec.Joint)
+		sh.joint.Add(rec.Joint)
 		if rec.Operation != "" {
-			perOp := m.perOp[rec.Operation]
+			perOp := sh.perOp[rec.Operation]
 			perOp.Add(rec.Joint)
-			m.perOp[rec.Operation] = perOp
+			sh.perOp[rec.Operation] = perOp
 		}
 	}
-	if m.logCap > 0 {
-		if len(m.log) >= m.logCap {
-			copy(m.log, m.log[1:])
-			m.log = m.log[:len(m.log)-1]
-		}
-		m.log = append(m.log, rec)
+	sh.mu.Unlock()
+
+	if m.ring != nil {
+		m.ring.add(rec)
 	}
 	if m.sink != nil {
+		// Marshalling runs outside every lock; only the actual write is
+		// serialized, since io.Writer interleaving must stay line-atomic.
 		line, err := json.Marshal(rec)
+		m.sinkMu.Lock()
 		if err == nil {
 			line = append(line, '\n')
 			_, err = m.sink.Write(line)
@@ -192,22 +242,56 @@ func (m *Monitor) Note(rec Record) {
 		if err != nil && m.sinkErr == nil {
 			m.sinkErr = fmt.Errorf("monitor: writing sink: %w", err)
 		}
+		m.sinkMu.Unlock()
 	}
 }
 
 // Err reports the first sink write error, if any.
 func (m *Monitor) Err() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sinkMu.Lock()
+	defer m.sinkMu.Unlock()
 	return m.sinkErr
 }
 
 // Joint returns the accumulated pairwise observation record (Table 1)
 // for the Bayesian inference.
 func (m *Monitor) Joint() bayes.JointCounts {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.joint
+	var total bayes.JointCounts
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		total.Merge(sh.joint)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// JointFor returns the pairwise observation record restricted to one
+// operation — the §6.2 per-operation confidence is computed from it.
+func (m *Monitor) JointFor(operation string) bayes.JointCounts {
+	var total bayes.JointCounts
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		total.Merge(sh.perOp[operation])
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// mergedAgg aggregates one release's accumulators across every shard.
+func (m *Monitor) mergedAgg(release string) (*releaseAgg, bool) {
+	var merged *releaseAgg
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		agg, ok := sh.releases[release]
+		if ok {
+			if merged == nil {
+				merged = newReleaseAgg()
+			}
+			merged.merge(agg)
+		}
+		sh.mu.Unlock()
+	}
+	return merged, merged != nil
 }
 
 // SlowResponses returns how many of a release's demands either produced
@@ -216,9 +300,7 @@ func (m *Monitor) Joint() bayes.JointCounts {
 // from a 2048-bin latency histogram, so thresholds are resolved to
 // ~30 ms granularity.
 func (m *Monitor) SlowResponses(release string, threshold time.Duration) (slow, demands int, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	agg, ok := m.releases[release]
+	agg, ok := m.mergedAgg(release)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownRelease, release)
 	}
@@ -233,19 +315,9 @@ func (m *Monitor) SlowResponses(release string, threshold time.Duration) (slow, 
 	return noResponse + slowResponded, agg.demands, nil
 }
 
-// JointFor returns the pairwise observation record restricted to one
-// operation — the §6.2 per-operation confidence is computed from it.
-func (m *Monitor) JointFor(operation string) bayes.JointCounts {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.perOp[operation]
-}
-
 // Stats returns one release's aggregate behaviour.
 func (m *Monitor) Stats(release string) (ReleaseStats, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	agg, ok := m.releases[release]
+	agg, ok := m.mergedAgg(release)
 	if !ok {
 		return ReleaseStats{}, fmt.Errorf("%w: %q", ErrUnknownRelease, release)
 	}
@@ -262,18 +334,85 @@ func (m *Monitor) Stats(release string) (ReleaseStats, error) {
 
 // Releases lists the observed release versions (unordered).
 func (m *Monitor) Releases() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.releases))
-	for name := range m.releases {
+	seen := make(map[string]bool)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for name := range sh.releases {
+			seen[name] = true
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
 		out = append(out, name)
 	}
 	return out
 }
 
-// Log returns a copy of the retained event records, oldest first.
+// Log returns a copy of the retained event records, oldest first (empty
+// when the log is disabled).
 func (m *Monitor) Log() []Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]Record(nil), m.log...)
+	if m.ring == nil {
+		return nil
+	}
+	return m.ring.snapshot()
+}
+
+// ---------------------------------------------------------------------------
+// Event-log ring
+
+// logRing is a bounded, sequence-stamped ring of records. A global
+// atomic ticket assigns each record a slot, so writers contend only when
+// two of them land exactly capacity apart; eviction of the oldest record
+// is an O(1) overwrite rather than the O(capacity) shift of a sliced
+// queue.
+type logRing struct {
+	seq   atomic.Uint64 // records ever written; slot = (seq-1) % len(slots)
+	slots []logSlot
+}
+
+type logSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 0 = never written
+	rec Record
+}
+
+func newLogRing(capacity int) *logRing {
+	return &logRing{slots: make([]logSlot, capacity)}
+}
+
+func (r *logRing) add(rec Record) {
+	n := r.seq.Add(1)
+	s := &r.slots[(n-1)%uint64(len(r.slots))]
+	s.mu.Lock()
+	// A writer that stalled between taking its ticket and locking the
+	// slot must not clobber a newer record that lapped it.
+	if n > s.seq {
+		s.seq = n
+		s.rec = rec
+	}
+	s.mu.Unlock()
+}
+
+// snapshot returns the retained records ordered oldest first.
+func (r *logRing) snapshot() []Record {
+	type entry struct {
+		seq uint64
+		rec Record
+	}
+	entries := make([]entry, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			entries = append(entries, entry{s.seq, s.rec})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]Record, len(entries))
+	for i, e := range entries {
+		out[i] = e.rec
+	}
+	return out
 }

@@ -1,0 +1,279 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/xrand"
+)
+
+// refMonitor is the single-lock reference the sharded monitor must be
+// observationally equivalent to: the pre-sharding implementation's
+// aggregation semantics, kept deliberately naive.
+type refMonitor struct {
+	mu       sync.Mutex
+	demands  map[string]int
+	resp     map[string]int
+	evident  map[string]int
+	failed   map[string]int
+	latSum   map[string]float64
+	latMax   map[string]float64
+	latHist  map[string][]int
+	joint    bayes.JointCounts
+	perOp    map[string]bayes.JointCounts
+	releases map[string]bool
+}
+
+func newRefMonitor() *refMonitor {
+	return &refMonitor{
+		demands:  map[string]int{},
+		resp:     map[string]int{},
+		evident:  map[string]int{},
+		failed:   map[string]int{},
+		latSum:   map[string]float64{},
+		latMax:   map[string]float64{},
+		latHist:  map[string][]int{},
+		perOp:    map[string]bayes.JointCounts{},
+		releases: map[string]bool{},
+	}
+}
+
+func (r *refMonitor) note(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, obs := range rec.Releases {
+		r.releases[obs.Release] = true
+		r.demands[obs.Release]++
+		if obs.Responded {
+			r.resp[obs.Release]++
+			sec := obs.Latency.Seconds()
+			r.latSum[obs.Release] += sec
+			if sec > r.latMax[obs.Release] {
+				r.latMax[obs.Release] = sec
+			}
+			hist := r.latHist[obs.Release]
+			if hist == nil {
+				hist = make([]int, latencyBinCount)
+				r.latHist[obs.Release] = hist
+			}
+			idx := int(float64(latencyBinCount) * sec / latencyRange.Seconds())
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= latencyBinCount {
+				idx = latencyBinCount - 1
+			}
+			hist[idx]++
+		}
+		if obs.Evident {
+			r.evident[obs.Release]++
+		}
+		if obs.Judged && obs.Failed {
+			r.failed[obs.Release]++
+		}
+	}
+	if rec.Joint != 0 {
+		r.joint.Add(rec.Joint)
+		if rec.Operation != "" {
+			c := r.perOp[rec.Operation]
+			c.Add(rec.Joint)
+			r.perOp[rec.Operation] = c
+		}
+	}
+}
+
+func (r *refMonitor) slowResponses(release string, threshold time.Duration) (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	noResponse := r.demands[release] - r.resp[release]
+	binWidth := latencyRange.Seconds() / latencyBinCount
+	firstAbove := int(threshold.Seconds()/binWidth) + 1
+	slow := 0
+	for i := firstAbove; i < latencyBinCount; i++ {
+		if hist := r.latHist[release]; hist != nil {
+			slow += hist[i]
+		}
+	}
+	return noResponse + slow, r.demands[release]
+}
+
+// randomRecord draws one randomized demand record.
+func randomRecord(rng *xrand.Rand, ops, releases []string) Record {
+	rec := Record{Operation: ops[rng.Intn(len(ops))]}
+	n := 1 + rng.Intn(len(releases))
+	for _, idx := range rng.Perm(len(releases))[:n] {
+		responded := rng.Bool(0.9)
+		rec.Releases = append(rec.Releases, Observation{
+			Release:   releases[idx],
+			Responded: responded,
+			Evident:   !responded || rng.Bool(0.1),
+			Judged:    rng.Bool(0.8),
+			Failed:    rng.Bool(0.15),
+			Latency:   time.Duration(rng.Intn(5000)) * time.Millisecond,
+		})
+	}
+	if rng.Bool(0.7) {
+		rec.Joint = []bayes.JointOutcome{
+			bayes.NeitherFails, bayes.AOnlyFails, bayes.BOnlyFails, bayes.BothFail,
+		}[rng.Intn(4)]
+	}
+	return rec
+}
+
+// TestShardedEqualsReference drives the sharded monitor and the
+// single-lock reference with identical randomized concurrent workloads
+// and requires every read API to agree: per-shard aggregation must be
+// observationally equivalent to sequential accumulation.
+func TestShardedEqualsReference(t *testing.T) {
+	ops := []string{"add", "sub", "mul"}
+	releases := []string{"1.0", "1.1", "1.2"}
+
+	for trial := 0; trial < 3; trial++ {
+		m := New()
+		ref := newRefMonitor()
+
+		const workers = 8
+		const perWorker = 300
+		master := xrand.New(uint64(1000 + trial))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			rng := master.Split()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					rec := randomRecord(rng, ops, releases)
+					m.Note(rec)
+					ref.note(rec)
+				}
+			}()
+		}
+		wg.Wait()
+
+		if got, want := m.Joint(), ref.joint; got != want {
+			t.Fatalf("trial %d: Joint() = %+v, reference %+v", trial, got, want)
+		}
+		for _, op := range ops {
+			if got, want := m.JointFor(op), ref.perOp[op]; got != want {
+				t.Fatalf("trial %d: JointFor(%s) = %+v, reference %+v", trial, op, got, want)
+			}
+		}
+		if got := len(m.Releases()); got != len(ref.releases) {
+			t.Fatalf("trial %d: Releases() has %d entries, reference %d", trial, got, len(ref.releases))
+		}
+		for _, rel := range releases {
+			s, err := m.Stats(rel)
+			if err != nil {
+				t.Fatalf("trial %d: Stats(%s): %v", trial, rel, err)
+			}
+			if s.Demands != ref.demands[rel] || s.Responses != ref.resp[rel] ||
+				s.Evident != ref.evident[rel] || s.JudgedFailures != ref.failed[rel] {
+				t.Fatalf("trial %d: Stats(%s) = %+v, reference demands=%d resp=%d evident=%d failed=%d",
+					trial, rel, s, ref.demands[rel], ref.resp[rel], ref.evident[rel], ref.failed[rel])
+			}
+			// Mean via merged Welford summaries vs a plain sum: equal up
+			// to float round-off.
+			if ref.resp[rel] > 0 {
+				wantMean := ref.latSum[rel] / float64(ref.resp[rel])
+				gotMean := s.MeanLatency.Seconds()
+				// Tolerance covers ns truncation of time.Duration plus
+				// float round-off of the merge order.
+				if math.Abs(gotMean-wantMean) > 2e-9*math.Max(1, wantMean) {
+					t.Fatalf("trial %d: Stats(%s) mean latency %v, reference %v", trial, rel, gotMean, wantMean)
+				}
+				if math.Abs(s.MaxLatency.Seconds()-ref.latMax[rel]) > 1e-12 {
+					t.Fatalf("trial %d: Stats(%s) max latency %v, reference %v", trial, rel, s.MaxLatency.Seconds(), ref.latMax[rel])
+				}
+			}
+			for _, threshold := range []time.Duration{
+				0, 30 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second, time.Minute,
+			} {
+				slow, demands, err := m.SlowResponses(rel, threshold)
+				if err != nil {
+					t.Fatalf("trial %d: SlowResponses(%s, %v): %v", trial, rel, threshold, err)
+				}
+				wantSlow, wantDemands := ref.slowResponses(rel, threshold)
+				if slow != wantSlow || demands != wantDemands {
+					t.Fatalf("trial %d: SlowResponses(%s, %v) = (%d, %d), reference (%d, %d)",
+						trial, rel, threshold, slow, demands, wantSlow, wantDemands)
+				}
+			}
+		}
+	}
+}
+
+// TestRingEviction: the ring must retain exactly the newest capacity
+// records, oldest first, and evict in O(1) (covered by the Note
+// benchmark; here we pin the semantics).
+func TestRingEviction(t *testing.T) {
+	m := New(WithLogCapacity(4))
+	for i := 0; i < 11; i++ {
+		m.Note(Record{Operation: fmt.Sprintf("op-%d", i)})
+	}
+	log := m.Log()
+	if len(log) != 4 {
+		t.Fatalf("log length = %d, want 4", len(log))
+	}
+	for i, rec := range log {
+		if want := fmt.Sprintf("op-%d", 7+i); rec.Operation != want {
+			t.Fatalf("log[%d] = %q, want %q", i, rec.Operation, want)
+		}
+	}
+}
+
+// TestRingDisabled: capacity 0 disables the log entirely.
+func TestRingDisabled(t *testing.T) {
+	m := New(WithLogCapacity(0))
+	m.Note(Record{Operation: "x"})
+	if log := m.Log(); len(log) != 0 {
+		t.Fatalf("disabled log returned %d records", len(log))
+	}
+}
+
+// TestRingConcurrent: under concurrent writers the ring must stay full
+// (exactly capacity records once more than capacity were written), hold
+// no duplicates, and order retained records consistently with each
+// writer's own sequence.
+func TestRingConcurrent(t *testing.T) {
+	const capacity = 64
+	const workers = 8
+	const perWorker = 200
+	m := New(WithLogCapacity(capacity))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Note(Record{Operation: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	log := m.Log()
+	if len(log) != capacity {
+		t.Fatalf("log length = %d, want %d", len(log), capacity)
+	}
+	seen := map[string]bool{}
+	lastPerWorker := map[string]int{}
+	for _, rec := range log {
+		if seen[rec.Operation] {
+			t.Fatalf("duplicate record %q in log", rec.Operation)
+		}
+		seen[rec.Operation] = true
+		var w, i int
+		if _, err := fmt.Sscanf(rec.Operation, "w%d-%d", &w, &i); err != nil {
+			t.Fatalf("unparsable record %q", rec.Operation)
+		}
+		// Within one writer, retained records must appear in write order.
+		key := fmt.Sprintf("w%d", w)
+		if last, ok := lastPerWorker[key]; ok && i < last {
+			t.Fatalf("writer %d's records out of order: %d after %d", w, i, last)
+		}
+		lastPerWorker[key] = i
+	}
+}

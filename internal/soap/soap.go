@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -158,6 +159,32 @@ func firstElement(inner []byte) (xml.Name, bool) {
 	}
 }
 
+// bufPool recycles the scratch buffers of envelope construction and
+// canonicalization — both run on the middleware's per-request hot path,
+// where growing a fresh bytes.Buffer per call was measurable allocator
+// traffic. Builders must copy the result out before returning the buffer.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	// An occasional giant message must not pin its buffer forever.
+	if b.Cap() > 1<<16 {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// take copies a pooled buffer's content into a caller-owned, right-sized
+// slice and returns the buffer to the pool.
+func take(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	putBuf(b)
+	return out
+}
+
 // Envelope wraps the XML marshalling of payload into a SOAP envelope.
 // Extra header items are emitted inside a Header element.
 func Envelope(payload interface{}, headers ...HeaderItem) ([]byte, error) {
@@ -170,7 +197,7 @@ func Envelope(payload interface{}, headers ...HeaderItem) ([]byte, error) {
 
 // EnvelopeRaw wraps pre-marshalled body XML into a SOAP envelope.
 func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
-	var b bytes.Buffer
+	b := getBuf()
 	b.WriteString(xml.Header)
 	b.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `">`)
 	if len(headers) > 0 {
@@ -183,29 +210,31 @@ func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
 	b.WriteString(`<soap:Body>`)
 	b.Write(bodyXML)
 	b.WriteString(`</soap:Body></soap:Envelope>`)
-	return b.Bytes()
+	return take(b)
 }
 
 // FaultEnvelope renders a fault as a complete SOAP envelope.
 func FaultEnvelope(f *Fault) []byte {
-	var b bytes.Buffer
+	b := getBuf()
 	b.WriteString(`<soap:Fault><faultcode>`)
-	xml.EscapeText(&b, []byte(f.Code))
+	xml.EscapeText(b, []byte(f.Code))
 	b.WriteString(`</faultcode><faultstring>`)
-	xml.EscapeText(&b, []byte(f.String))
+	xml.EscapeText(b, []byte(f.String))
 	b.WriteString(`</faultstring>`)
 	if f.Actor != "" {
 		b.WriteString(`<faultactor>`)
-		xml.EscapeText(&b, []byte(f.Actor))
+		xml.EscapeText(b, []byte(f.Actor))
 		b.WriteString(`</faultactor>`)
 	}
 	if f.Detail != "" {
 		b.WriteString(`<detail>`)
-		xml.EscapeText(&b, []byte(f.Detail))
+		xml.EscapeText(b, []byte(f.Detail))
 		b.WriteString(`</detail>`)
 	}
 	b.WriteString(`</soap:Fault>`)
-	return EnvelopeRaw(b.Bytes())
+	env := EnvelopeRaw(b.Bytes())
+	putBuf(b)
+	return env
 }
 
 // ---------------------------------------------------------------------------
@@ -419,7 +448,7 @@ func (c *Client) CallRaw(ctx context.Context, operation string, envelope []byte)
 // comparison of release responses (§5.1.1.3) needs.
 func Canonicalize(fragment []byte) ([]byte, error) {
 	dec := xml.NewDecoder(bytes.NewReader(fragment))
-	var b bytes.Buffer
+	b := getBuf()
 	depth := 0
 	for {
 		tok, err := dec.Token()
@@ -427,13 +456,14 @@ func Canonicalize(fragment []byte) ([]byte, error) {
 			break
 		}
 		if err != nil {
+			putBuf(b)
 			return nil, fmt.Errorf("soap: canonicalizing: %w", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			depth++
 			b.WriteByte('<')
-			writeCanonicalName(&b, t.Name)
+			writeCanonicalName(b, t.Name)
 			attrs := make([]xml.Attr, 0, len(t.Attr))
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
@@ -449,25 +479,25 @@ func Canonicalize(fragment []byte) ([]byte, error) {
 			})
 			for _, a := range attrs {
 				b.WriteByte(' ')
-				writeCanonicalName(&b, a.Name)
+				writeCanonicalName(b, a.Name)
 				b.WriteString(`="`)
-				xml.EscapeText(&b, []byte(a.Value))
+				xml.EscapeText(b, []byte(a.Value))
 				b.WriteByte('"')
 			}
 			b.WriteByte('>')
 		case xml.EndElement:
 			depth--
 			b.WriteString("</")
-			writeCanonicalName(&b, t.Name)
+			writeCanonicalName(b, t.Name)
 			b.WriteByte('>')
 		case xml.CharData:
 			if depth == 0 || len(bytes.TrimSpace(t)) == 0 {
 				continue
 			}
-			xml.EscapeText(&b, t)
+			xml.EscapeText(b, t)
 		}
 	}
-	return b.Bytes(), nil
+	return take(b), nil
 }
 
 func writeCanonicalName(b *bytes.Buffer, n xml.Name) {

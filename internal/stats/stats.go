@@ -307,6 +307,30 @@ func (s *Summary) Observe(v float64) {
 	s.hasExtrema = true
 }
 
+// Merge folds another summary into s, as if every observation of o had
+// been observed by s (Chan et al.'s parallel variance combination). The
+// sharded monitor uses it to aggregate per-shard summaries on read.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // N returns the number of observations.
 func (s *Summary) N() int { return s.n }
 
@@ -382,6 +406,22 @@ func (h *Histogram) Observe(v float64) {
 		idx = n - 1
 	}
 	h.Counts[idx]++
+}
+
+// Merge adds another histogram's counts into h. The histograms must have
+// identical bounds and bin counts.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("%w: merging histograms [%v,%v)x%d and [%v,%v)x%d",
+			ErrInvalidParam, h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
 }
 
 // Total returns the number of observations recorded.

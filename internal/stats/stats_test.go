@@ -384,3 +384,83 @@ func BenchmarkRegIncBeta(b *testing.B) {
 	}
 	_ = sink
 }
+
+// Summary.Merge must agree with sequential observation regardless of how
+// the sample is partitioned — the contract the sharded monitor relies on.
+func TestSummaryMergePartitionInvariant(t *testing.T) {
+	r := xrand.New(7)
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = r.Exp(2.0)
+	}
+	var sequential Summary
+	for _, v := range sample {
+		sequential.Observe(v)
+	}
+	for _, parts := range []int{1, 2, 3, 7, 16, 500} {
+		shards := make([]Summary, parts)
+		for i, v := range sample {
+			shards[i%parts].Observe(v)
+		}
+		var merged Summary
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.N() != sequential.N() {
+			t.Fatalf("parts=%d: N = %d, want %d", parts, merged.N(), sequential.N())
+		}
+		if math.Abs(merged.Mean()-sequential.Mean()) > 1e-12*math.Max(1, sequential.Mean()) {
+			t.Fatalf("parts=%d: mean %v, want %v", parts, merged.Mean(), sequential.Mean())
+		}
+		if math.Abs(merged.Variance()-sequential.Variance()) > 1e-9*math.Max(1, sequential.Variance()) {
+			t.Fatalf("parts=%d: variance %v, want %v", parts, merged.Variance(), sequential.Variance())
+		}
+		if merged.Min() != sequential.Min() || merged.Max() != sequential.Max() {
+			t.Fatalf("parts=%d: extrema (%v, %v), want (%v, %v)",
+				parts, merged.Min(), merged.Max(), sequential.Min(), sequential.Max())
+		}
+	}
+	// Merging into an empty summary adopts the other side wholesale.
+	var empty Summary
+	empty.Merge(sequential)
+	if empty.N() != sequential.N() || empty.Mean() != sequential.Mean() {
+		t.Fatal("merge into empty summary lost state")
+	}
+	// Merging an empty summary is a no-op.
+	before := sequential
+	sequential.Merge(Summary{})
+	if sequential != before {
+		t.Fatal("merging an empty summary changed state")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(1)
+	a.Observe(9)
+	b.Observe(1)
+	b.Observe(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 4 || a.Counts[0] != 2 || a.Counts[2] != 1 || a.Counts[4] != 1 {
+		t.Fatalf("merged counts = %v", a.Counts)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	mismatched, err := NewHistogram(0, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(mismatched); err == nil {
+		t.Fatal("mismatched bin counts accepted")
+	}
+}
