@@ -8,8 +8,10 @@
 package wsupgrade
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -340,6 +342,129 @@ func BenchmarkEngineProxyParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport benchmarks: a stub http.RoundTripper replaces the
+// network entirely, so these isolate the engine's own per-request
+// overhead (read, sniff, dispatch, adjudicate, monitor, re-envelope)
+// from HTTP round-trip cost — the network-free baseline ROADMAP tracks.
+
+// stubTransport answers every release call in process with a canned SOAP
+// response. The stub itself costs a few allocations per call (response
+// struct, header map, reader), which is the floor these benchmarks
+// cannot go below.
+type stubTransport struct {
+	resp []byte
+}
+
+func (t *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+	return &http.Response{
+		Status:     "200 OK",
+		StatusCode: http.StatusOK,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"Content-Type": []string{soap.ContentType}},
+		Body:       io.NopCloser(bytes.NewReader(t.resp)),
+		Request:    req,
+	}, nil
+}
+
+// newInProcessEngine builds an engine over n stub releases.
+func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int) *Engine {
+	b.Helper()
+	respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = Endpoint{
+			Version: fmt.Sprintf("1.%d", i),
+			URL:     fmt.Sprintf("http://release-%d.invalid", i),
+		}
+	}
+	engine, err := NewEngine(EngineConfig{
+		Releases: eps,
+		Mode:     mode,
+		Quorum:   quorum,
+		HTTP:     &http.Client{Transport: &stubTransport{resp: respEnv}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = engine.Close() })
+	return engine
+}
+
+// driveInProcess pushes requests straight into the engine's handler.
+func driveInProcess(b *testing.B, engine *Engine, phase Phase) {
+	b.Helper()
+	if err := engine.SetPhase(phase); err != nil {
+		b.Fatal(err)
+	}
+	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(reqEnv))
+		req.Header.Set("Content-Type", soap.ContentType)
+		rec := httptest.NewRecorder()
+		engine.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkEngineInProcess measures pure engine overhead per phase over
+// two stub releases: the parallel fan-out versus the single-target fast
+// path of the old-only/new-only phases.
+func BenchmarkEngineInProcess(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		phase Phase
+	}{
+		{"parallel", PhaseParallel},
+		{"observation", PhaseObservation},
+		{"old-only-fastpath", PhaseOldOnly},
+		{"new-only-fastpath", PhaseNewOnly},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0), tc.phase)
+		})
+	}
+}
+
+// BenchmarkEngineInProcessModes measures all four §4.2 operating modes at
+// 3- and 5-version redundancy — the N-version fan-out multiplies
+// per-request transport cost by the number of deployed releases, so
+// engine overhead must stay flat per release.
+func BenchmarkEngineInProcessModes(b *testing.B) {
+	for _, n := range []int{3, 5} {
+		for _, mc := range []struct {
+			name   string
+			mode   Mode
+			quorum int
+		}{
+			{"reliability", ModeReliability, 0},
+			{"responsiveness", ModeResponsiveness, 0},
+			{"dynamic-q2", ModeDynamic, 2},
+			{"sequential", ModeSequential, 0},
+		} {
+			b.Run(fmt.Sprintf("%s-%dv", mc.name, n), func(b *testing.B) {
+				driveInProcess(b, newInProcessEngine(b, n, mc.mode, mc.quorum), PhaseParallel)
+			})
+		}
+	}
 }
 
 // BenchmarkMonitorNoteParallel measures the monitoring subsystem's write

@@ -86,7 +86,16 @@ func run() error {
 			MinDemands: 100,
 		},
 		ConfidenceTarget: 0.05,
-		Seed:             3,
+		// One retry of transient transport failures, and a tight bound
+		// on release response bodies — a misbehaving release cannot make
+		// the proxy buffer an unbounded body. (With Retry unset the
+		// engine still applies the default 10 MB cap.)
+		Retry: wsupgrade.RetryPolicy{
+			Attempts:         2,
+			Backoff:          25 * time.Millisecond,
+			MaxResponseBytes: 1 << 20,
+		},
+		Seed: 3,
 	})
 	if err != nil {
 		return err
@@ -99,7 +108,9 @@ func run() error {
 	defer stopProxy()
 
 	// --- Consumer traffic ---------------------------------------------------
-	client := &wsupgrade.SOAPClient{URL: proxyURL, HTTP: &http.Client{Timeout: 5 * time.Second}}
+	// The pooled client keeps warm keep-alive connections to the proxy —
+	// the same transport tuning the engine uses toward the releases.
+	client := &wsupgrade.SOAPClient{URL: proxyURL, HTTP: wsupgrade.NewPooledClient(5*time.Second, 1)}
 	fmt.Println("driving consumer traffic through the managed upgrade...")
 	var switched bool
 	for i := 1; i <= 600; i++ {

@@ -196,7 +196,7 @@ func run() error {
 	fmt.Println("composite up at", compURL, "— bound directly to 1.0")
 
 	// --- Consumers start using the composite --------------------------------
-	client := &wsupgrade.SOAPClient{URL: compURL, HTTP: &http.Client{Timeout: 10 * time.Second}}
+	client := &wsupgrade.SOAPClient{URL: compURL, HTTP: wsupgrade.NewPooledClient(10*time.Second, 1)}
 	call := func(i int) error {
 		var out quoteResponse
 		err := client.Call(ctx, "quote", quoteRequest{Nights: 3, Rate: 100 + i%7}, &out)

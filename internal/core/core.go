@@ -249,12 +249,21 @@ func (s *engineState) clone() *engineState {
 // (the SOAP endpoint); Handler() adds /wsdl and /healthz.
 // Construct with New; call Close to drain background monitoring work.
 type Engine struct {
-	cfg       Config
-	client    *http.Client
-	adjudic   adjudicate.Adjudicator
-	oracle    oracle.Oracle
-	mon       *monitor.Monitor
-	inference *bayes.WhiteBox
+	cfg    Config
+	client *http.Client
+	// ownsClient marks an engine-built client whose pooled transport
+	// Close must shut down (a caller-supplied Config.HTTP is theirs).
+	ownsClient bool
+	adjudic    adjudicate.Adjudicator
+	oracle     oracle.Oracle
+	mon        *monitor.Monitor
+	inference  *bayes.WhiteBox
+
+	// contractOps is the set of operation names in cfg.Contract (nil
+	// when no contract is configured). It guards §6.2 "<op>Conf" variant
+	// routing: a genuine contract operation whose name happens to end in
+	// "Conf" must not be hijacked.
+	contractOps map[string]bool
 
 	state atomic.Pointer[engineState]
 	mu    sync.Mutex // serializes state writers (copy-on-write publishers)
@@ -372,7 +381,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.HTTP != nil {
 		e.client = cfg.HTTP
 	} else {
-		e.client = httpx.NewClient(cfg.Timeout + 500*time.Millisecond)
+		// A dedicated pooled transport: http.DefaultTransport keeps only
+		// 2 idle connections per host, so parallel fan-out to the same
+		// release endpoint would re-dial on every burst.
+		e.client = httpx.NewPooledClient(cfg.Timeout+500*time.Millisecond, len(cfg.Releases))
+		e.ownsClient = true
+	}
+	if cfg.Contract != nil {
+		e.contractOps = make(map[string]bool, len(cfg.Contract.Operations))
+		for _, op := range cfg.Contract.Operations {
+			e.contractOps[op.Name] = true
+		}
 	}
 	if cfg.Monitor != nil {
 		e.mon = cfg.Monitor
@@ -408,9 +427,14 @@ func validatePhase(p Phase, releases int) error {
 }
 
 // Close waits for background monitoring work to finish (bounded by the
-// call timeout). The engine must not serve new requests afterwards.
+// call timeout) and shuts down the engine-owned transport's keep-alive
+// connections (up to 32 per release host would otherwise linger for the
+// 90 s idle timeout). The engine must not serve new requests afterwards.
 func (e *Engine) Close() error {
 	e.wg.Wait()
+	if e.ownsClient {
+		e.client.CloseIdleConnections()
+	}
 	return nil
 }
 
@@ -714,7 +738,7 @@ func (e *Engine) serveWSDL(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	def, err := wsdl.Generate(contract, "http://"+r.Host+"/")
+	def, err := wsdl.Generate(contract, requestScheme(r)+"://"+r.Host+"/")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -728,6 +752,29 @@ func (e *Engine) serveWSDL(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// requestScheme derives the scheme consumers should use to reach this
+// engine: https when the request arrived over TLS, or whatever a
+// trusted reverse proxy reports in X-Forwarded-Proto. The published
+// WSDL endpoint address must match what the consumer can actually dial.
+func requestScheme(r *http.Request) string {
+	scheme := "http"
+	if r.TLS != nil {
+		scheme = "https"
+	}
+	if proto := r.Header.Get("X-Forwarded-Proto"); proto != "" {
+		if i := strings.IndexByte(proto, ','); i >= 0 {
+			proto = proto[:i] // first hop wins in a proxy chain
+		}
+		switch strings.ToLower(strings.TrimSpace(proto)) {
+		case "http":
+			scheme = "http"
+		case "https":
+			scheme = "https"
+		}
+	}
+	return scheme
+}
+
 // AdjudicatorHeader lets a consumer select the adjudication mechanism for
 // its own requests (§6.1: "users can explicitly specify the adjudication
 // mechanism they would like applied to their own requests"). Valid
@@ -735,34 +782,81 @@ func (e *Engine) serveWSDL(w http.ResponseWriter, r *http.Request) {
 // ignored in favour of the engine default.
 const AdjudicatorHeader = "X-Wsupgrade-Adjudicator"
 
-// ServeHTTP intercepts one consumer request.
+// maxRequestBytes bounds consumer request bodies (matches the SOAP
+// message limit and the release-response cap).
+const maxRequestBytes = 10 << 20
+
+// ServeHTTP intercepts one consumer request. The hot path routes on a
+// zero-copy sniff of the envelope (which validates the whole structural
+// tag tree); the full DOM parse runs only for unusual or malformed
+// envelopes and the §6.2 confidence operations (which need the decoded
+// body). The residual gap: a message with content-level malformation
+// only a DOM parse detects (entities, attribute syntax) can sniff clean
+// and be rejected by the releases instead of locally; those faults reach
+// the consumer as faults — the same monitoring exposure an unknown
+// operation name has always had.
 func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+	data, err := httpx.ReadBounded(r.Body, maxRequestBytes)
 	if err != nil {
 		e.writeFault(w, soap.ClientFault(fmt.Sprintf("reading request: %v", err)), "")
 		return
 	}
-	parsed, err := soap.Parse(data)
-	if err != nil {
-		e.writeFault(w, soap.ClientFault(err.Error()), "")
-		return
+	opElement, sniffed := soap.SniffOperation(data)
+	var parsed *soap.Parsed
+	if !sniffed {
+		if parsed, err = soap.Parse(data); err != nil {
+			e.writeFault(w, soap.ClientFault(err.Error()), "")
+			return
+		}
+		opElement = parsed.Operation.Local
 	}
-	opElement := parsed.Operation.Local
 	operation := strings.TrimSuffix(opElement, "Request")
 
-	if e.cfg.EnableConfOps && opElement == wsdl.ConfOperationName+"Request" {
-		e.serveConfidenceQuery(w, parsed)
-		return
-	}
-	if e.cfg.EnableConfOps && strings.HasSuffix(operation, "Conf") && operation != wsdl.ConfOperationName {
-		e.serveConfVariant(w, r, parsed, strings.TrimSuffix(operation, "Conf"))
-		return
+	if e.cfg.EnableConfOps {
+		parse := func() *soap.Parsed {
+			if parsed == nil {
+				parsed, err = soap.Parse(data)
+			}
+			return parsed
+		}
+		if opElement == wsdl.ConfOperationName+"Request" {
+			if parse() == nil {
+				e.writeFault(w, soap.ClientFault(err.Error()), "")
+				return
+			}
+			e.serveConfidenceQuery(w, parsed)
+			return
+		}
+		if base, ok := e.confVariantBase(operation); ok {
+			if parse() == nil {
+				e.writeFault(w, soap.ClientFault(err.Error()), "")
+				return
+			}
+			e.serveConfVariant(w, r, parsed, base)
+			return
+		}
 	}
 	e.proxy(w, r, data, operation)
+}
+
+// confVariantBase reports whether operation is a §6.2 "<op>Conf"
+// variant, returning the underlying operation name. When a Contract is
+// configured, the variant interpretation applies only if the base
+// operation exists in the contract and the full name does not — a
+// genuine contract operation named e.g. "GetConf" is proxied as itself.
+func (e *Engine) confVariantBase(operation string) (string, bool) {
+	if !strings.HasSuffix(operation, "Conf") || operation == wsdl.ConfOperationName {
+		return "", false
+	}
+	base := strings.TrimSuffix(operation, "Conf")
+	if e.contractOps != nil && (e.contractOps[operation] || !e.contractOps[base]) {
+		return "", false
+	}
+	return base, true
 }
 
 // requestAdjudicator honours the consumer's per-request adjudicator
@@ -873,6 +967,23 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	_ = ctx
 	callCtx, cancel := context.WithTimeout(context.Background(), timeout)
 
+	// Single-target fast path (PhaseOldOnly, PhaseNewOnly, or every
+	// other target marked down): one synchronous call, no goroutine, no
+	// channel, no fan-out bookkeeping.
+	if len(targets) == 1 {
+		defer cancel()
+		replies := getReplySlice(1)
+		replies[0] = e.callRelease(callCtx, targets[0], operation, envelope)
+		collected := replies[:0]
+		if responded(replies[0]) {
+			collected = replies[:1]
+		}
+		winner, adjErr := deliverFrom(collected)
+		e.record(operation, targets, replies, winner, oldest, newest)
+		putReplySlice(replies)
+		return winner, adjErr
+	}
+
 	if mode == ModeSequential && phase != PhaseOldOnly && phase != PhaseNewOnly {
 		defer cancel()
 		return e.dispatchSequential(callCtx, targets, envelope, operation, deliverFrom)
@@ -892,7 +1003,7 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 		}()
 	}
 
-	replies := make([]adjudicate.Reply, len(targets))
+	replies := getReplySlice(len(targets))
 	received := 0
 	collectOne := func() {
 		in := <-ch
@@ -924,17 +1035,19 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	// Only actual responses are adjudicated: a SOAP fault is a collected
 	// (evidently incorrect) response, while a timeout or transport error
 	// means nothing was collected from that release (§5.2.1).
-	collected := make([]adjudicate.Reply, 0, received)
+	collected := getReplySlice(received)[:0]
 	for _, r := range replies {
 		if r.Release != "" && responded(r) {
 			collected = append(collected, r)
 		}
 	}
 	winner, adjErr := deliverFrom(collected)
+	putReplySlice(collected)
 
 	if received == len(targets) {
 		cancel()
 		e.record(operation, targets, replies, winner, oldest, newest)
+		putReplySlice(replies)
 		return winner, adjErr
 	}
 	// Delivery happened early; finish collecting in the background so
@@ -952,8 +1065,39 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 			partial[in.i] = in.r
 		}
 		e.record(operation, targets, partial, winner, oldest, newest)
+		putReplySlice(partial)
 	}()
 	return winner, adjErr
+}
+
+// ---------------------------------------------------------------------------
+// Per-dispatch reply slice recycling
+
+// replySlices recycles the reply scratch slices of dispatch. Fan-outs
+// are small (a handful of releases), so the slices are tiny but
+// allocated twice per consumer request; pooling removes them from the
+// hot path. A slice must only be returned once nothing aliases it: the
+// winner is a value copy, adjudicators must not retain replies, and
+// record builds its own observation slice.
+var replySlices = sync.Pool{New: func() interface{} { return new([]adjudicate.Reply) }}
+
+func getReplySlice(n int) []adjudicate.Reply {
+	p := replySlices.Get().(*[]adjudicate.Reply)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	if n < 8 {
+		return make([]adjudicate.Reply, n, 8)
+	}
+	return make([]adjudicate.Reply, n)
+}
+
+func putReplySlice(s []adjudicate.Reply) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = adjudicate.Reply{} // drop body/header references
+	}
+	replySlices.Put(&s)
 }
 
 // responded reports whether an exchange produced an application-level
@@ -975,7 +1119,7 @@ func anyValid(replies []adjudicate.Reply) bool {
 // time; the next is invoked only on an evident failure of the previous.
 func (e *Engine) dispatchSequential(ctx context.Context, targets []Endpoint, envelope []byte,
 	operation string, deliver func([]adjudicate.Reply) (adjudicate.Reply, error)) (adjudicate.Reply, error) {
-	called := make([]adjudicate.Reply, 0, len(targets))
+	called := getReplySlice(len(targets))[:0]
 	calledEps := make([]Endpoint, 0, len(targets))
 	for _, t := range targets {
 		r := e.callRelease(ctx, t, operation, envelope)
@@ -985,15 +1129,17 @@ func (e *Engine) dispatchSequential(ctx context.Context, targets []Endpoint, env
 			break
 		}
 	}
-	collected := make([]adjudicate.Reply, 0, len(called))
+	collected := getReplySlice(len(called))[:0]
 	for _, r := range called {
 		if responded(r) {
 			collected = append(collected, r)
 		}
 	}
 	winner, err := deliver(collected)
+	putReplySlice(collected)
 	oldest, newest := targets[0], targets[len(targets)-1]
 	e.record(operation, calledEps, called, winner, oldest, newest)
+	putReplySlice(called)
 	return winner, err
 }
 
@@ -1014,7 +1160,10 @@ func (e *Engine) deliveryAdjudicator(phase Phase, oldest, newest Endpoint, adj a
 	}
 }
 
-// callRelease invokes one release and classifies the outcome.
+// callRelease invokes one release and classifies the outcome. A 200
+// response's body is extracted with the zero-copy sniffer; the full
+// parse runs only for unusual envelopes and for fault decoding (the
+// SOAP 1.1 binding carries faults on HTTP 500).
 func (e *Engine) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
 	start := time.Now()
 	reply := adjudicate.Reply{Release: ep.Version}
@@ -1025,16 +1174,27 @@ func (e *Engine) callRelease(ctx context.Context, ep Endpoint, operation string,
 		return reply
 	}
 	reply.Header = res.Header
-	parsed, perr := soap.Parse(res.Body)
-	switch {
-	case res.Status == http.StatusInternalServerError && perr == nil && parsed.Fault != nil:
-		reply.Err = parsed.Fault
-	case res.Status != http.StatusOK:
-		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
-	case perr != nil:
-		reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, perr)
-	default:
+	switch res.Status {
+	case http.StatusOK:
+		if inner, _, ok := soap.SniffBody(res.Body); ok {
+			reply.Body = inner
+			return reply
+		}
+		parsed, perr := soap.Parse(res.Body)
+		if perr != nil {
+			reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, perr)
+			return reply
+		}
 		reply.Body = parsed.BodyXML
+	case http.StatusInternalServerError:
+		parsed, perr := soap.Parse(res.Body)
+		if perr == nil && parsed.Fault != nil {
+			reply.Err = parsed.Fault
+			return reply
+		}
+		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
+	default:
+		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
 	}
 	return reply
 }

@@ -1,5 +1,6 @@
 // Package httpx is the HTTP transport substrate: clients with sane
-// timeouts, retry of transient failures, and latency instrumentation.
+// timeouts and tuned connection pools, retry of transient failures,
+// bounded response reads, and latency instrumentation.
 //
 // Retrying maps directly onto the paper's failure taxonomy (§2.1):
 // a *transient* failure "can be tolerated by using generic recovery
@@ -16,21 +17,103 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
 // ErrBadPolicy reports an invalid retry policy.
 var ErrBadPolicy = errors.New("httpx: bad retry policy")
 
+// ErrTooLarge reports a message body that exceeds its size bound. A
+// release streaming an oversized response is an evident failure of that
+// release, not a reason to exhaust the proxy's memory.
+var ErrTooLarge = errors.New("httpx: message exceeds size limit")
+
+// DefaultMaxResponseBytes caps release response bodies when RetryPolicy
+// leaves MaxResponseBytes zero. It matches the proxy's consumer-side
+// request limit, so neither direction of the mediated exchange is
+// unbounded.
+const DefaultMaxResponseBytes = 10 << 20
+
+// DefaultMaxIdleConnsPerHost sizes the keep-alive pool NewPooledClient
+// keeps per release endpoint. http.DefaultTransport keeps only 2, which
+// starves a fan-out that hits the same release host from many concurrent
+// dispatches: every burst re-dials most of its connections.
+const DefaultMaxIdleConnsPerHost = 32
+
 // NewClient returns an HTTP client with an overall per-call timeout.
 // An absent response within the deadline is the evident failure the
 // middleware's availability monitoring counts (§4.3).
+//
+// It shares http.DefaultTransport; for the middleware's fan-out traffic
+// use NewPooledClient, whose per-host idle pool matches parallel
+// dispatch.
 func NewClient(timeout time.Duration) *http.Client {
 	return &http.Client{Timeout: timeout}
 }
 
-// RetryPolicy controls PostXML's tolerance of transient failures.
+// NewPooledClient returns an HTTP client with a dedicated transport tuned
+// for the middleware's traffic shape: every request goes to one of a
+// small, known set of release hosts, and parallel dispatch multiplies the
+// concurrency per host by the number of in-flight consumer requests.
+// hosts is the expected number of distinct release endpoints (used to
+// size the total idle pool); values below 1 are treated as 1.
+func NewPooledClient(timeout time.Duration, hosts int) *http.Client {
+	if hosts < 1 {
+		hosts = 1
+	}
+	transport := &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          DefaultMaxIdleConnsPerHost * hosts,
+		MaxIdleConnsPerHost:   DefaultMaxIdleConnsPerHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+	}
+	return &http.Client{Timeout: timeout, Transport: transport}
+}
+
+// readPool recycles the scratch buffers of ReadBounded. Bodies on the
+// middleware's hot path are small SOAP envelopes; recycling the growth
+// of a fresh buffer per exchange was measurable allocator traffic.
+var readPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledReadBuf keeps an occasional giant body from pinning its
+// buffer in the pool forever.
+const maxPooledReadBuf = 1 << 16
+
+// ReadBounded reads r to EOF through a pooled scratch buffer and returns
+// a right-sized, caller-owned copy. Reading more than max bytes returns
+// ErrTooLarge.
+func ReadBounded(r io.Reader, max int64) ([]byte, error) {
+	b := readPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer func() {
+		if b.Cap() <= maxPooledReadBuf {
+			readPool.Put(b)
+		}
+	}()
+	n, err := b.ReadFrom(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if n > max {
+		return nil, fmt.Errorf("%w: more than %d bytes", ErrTooLarge, max)
+	}
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
+}
+
+// RetryPolicy controls PostXML's tolerance of transient failures and the
+// size bound on response bodies.
 type RetryPolicy struct {
 	// Attempts is the total number of tries (≥ 1).
 	Attempts int
@@ -40,6 +123,10 @@ type RetryPolicy struct {
 	// RetryStatus reports whether an HTTP status code is transient.
 	// Nil means "retry on 5xx".
 	RetryStatus func(code int) bool
+	// MaxResponseBytes caps the response body; larger bodies fail the
+	// exchange with ErrTooLarge (and are not retried — an oversized
+	// response is not transient). Zero means DefaultMaxResponseBytes.
+	MaxResponseBytes int64
 }
 
 // NoRetry is the policy with a single attempt.
@@ -56,6 +143,9 @@ func (p RetryPolicy) Validate() error {
 	if p.Backoff < 0 {
 		return fmt.Errorf("%w: negative backoff", ErrBadPolicy)
 	}
+	if p.MaxResponseBytes < 0 {
+		return fmt.Errorf("%w: negative response size limit", ErrBadPolicy)
+	}
 	return nil
 }
 
@@ -64,6 +154,20 @@ func (p RetryPolicy) retryStatus(code int) bool {
 		return p.RetryStatus(code)
 	}
 	return code >= 500 && code != http.StatusInternalServerError
+}
+
+// backoffFor returns the delay before the given attempt (≥ 2): Backoff
+// for the second attempt, doubling for each one after.
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	return time.Duration(float64(p.Backoff) * math.Pow(2, float64(attempt-2)))
+}
+
+// maxResponseBytes resolves the effective response cap.
+func (p RetryPolicy) maxResponseBytes() int64 {
+	if p.MaxResponseBytes == 0 {
+		return DefaultMaxResponseBytes
+	}
+	return p.MaxResponseBytes
 }
 
 // Result is the outcome of a PostXML exchange.
@@ -85,6 +189,10 @@ type Result struct {
 // retried with exponential backoff. HTTP 500 is NOT transient here — the
 // SOAP 1.1 binding uses it for faults, which are deterministic evident
 // failures that retrying the same release cannot fix.
+//
+// The response body is read through a pooled buffer and bounded by the
+// policy's MaxResponseBytes; an oversized body fails with ErrTooLarge
+// without further attempts.
 func PostXML(ctx context.Context, client *http.Client, url, contentType string, body []byte, policy RetryPolicy) (*Result, error) {
 	if err := policy.Validate(); err != nil {
 		return nil, err
@@ -92,15 +200,15 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 	if client == nil {
 		client = http.DefaultClient
 	}
+	maxBytes := policy.maxResponseBytes()
 	start := time.Now()
 	var lastErr error
 	for attempt := 1; attempt <= policy.Attempts; attempt++ {
 		if attempt > 1 {
-			backoff := time.Duration(float64(policy.Backoff) * math.Pow(2, float64(attempt-2)))
 			select {
 			case <-ctx.Done():
 				return nil, fmt.Errorf("httpx: cancelled during backoff: %w", ctx.Err())
-			case <-time.After(backoff):
+			case <-time.After(policy.backoffFor(attempt)):
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
@@ -116,9 +224,12 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 			}
 			continue
 		}
-		data, err := io.ReadAll(resp.Body)
+		data, err := ReadBounded(resp.Body, maxBytes)
 		resp.Body.Close()
 		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				return nil, fmt.Errorf("httpx: POST %s: %w", url, err)
+			}
 			lastErr = err
 			continue
 		}

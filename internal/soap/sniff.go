@@ -1,0 +1,378 @@
+// Zero-copy envelope sniffing for the middleware's hot path.
+//
+// The interceptor proxies envelopes verbatim: to route a request it only
+// needs the local name of the first Body child, and to re-wrap a release
+// response it only needs the raw inner XML of the Body. Building a DOM
+// with encoding/xml for that is the single most allocation-heavy step of
+// a proxied request, so this file provides a conservative byte-level
+// scanner instead. "Conservative" is the contract: every sniffing
+// function reports ok=false the moment a message looks unusual
+// (uncommon namespace plumbing, stray text, truncated markup,
+// mismatched or over-deep tags), and the caller falls back to the full
+// Parse. A sniff that succeeds agrees with Parse on well-formed input
+// and vouches for a structurally sound Envelope/Header/Body tag tree;
+// only content-level malformation a DOM parse would also reject —
+// undefined entities, broken attribute syntax, encoding errors — can
+// slip past a successful sniff.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+)
+
+// SniffOperation extracts the invoked operation — the local name of the
+// first child element of the SOAP Body — without building a DOM.
+// ok=false means "undetermined cheaply", not "invalid": fall back to
+// Parse for both the unusual and the malformed.
+func SniffOperation(data []byte) (operation string, ok bool) {
+	s := sniffer{data: data}
+	_, op, ok := s.sniffBody()
+	return op, ok
+}
+
+// SniffBody extracts the raw inner XML of the SOAP Body — exactly the
+// span Parse returns as BodyXML — plus the local name of its first child
+// element, without building a DOM. The returned slice aliases data.
+func SniffBody(data []byte) (bodyXML []byte, operation string, ok bool) {
+	s := sniffer{data: data}
+	return s.sniffBody()
+}
+
+// SniffEnvelope builds a Parsed without a DOM for common-form envelopes:
+// BodyXML, HeaderXML and the operation's local name, all aliasing data.
+// Two deliberate gaps versus Parse: the operation's namespace is not
+// resolved (Operation.Space stays empty), and a Fault body is not
+// decoded (Parsed.Fault stays nil, though the Operation reads "Fault").
+// Callers needing either must fall back to Parse — as they must whenever
+// ok is false.
+func SniffEnvelope(data []byte) (*Parsed, bool) {
+	s := sniffer{data: data}
+	body, op, ok := s.sniffBody()
+	if !ok {
+		return nil, false
+	}
+	p := &Parsed{BodyXML: body, Operation: xml.Name{Local: op}}
+	if len(s.headerInner) > 0 {
+		p.HeaderXML = s.headerInner
+	}
+	return p, true
+}
+
+// sniffer is a minimal forward-only scanner over an XML document.
+type sniffer struct {
+	data []byte
+	pos  int
+	// headerInner is the raw inner XML of a Header element skipped by
+	// enterBody (nil when the envelope has none).
+	headerInner []byte
+	// bodyName and envName are the Body and Envelope elements' raw tag
+	// names as written (with prefix), recorded by enterBody for
+	// close-tag matching.
+	bodyName []byte
+	envName  []byte
+}
+
+// sniffBody does the work of SniffBody on the scanner.
+func (s *sniffer) sniffBody() (bodyXML []byte, operation string, ok bool) {
+	if !s.enterBody() {
+		return nil, "", false
+	}
+	innerStart := s.pos
+	if !s.skipMisc() {
+		return nil, "", false
+	}
+	name, _, isEnd, _, tagOK := s.readTag()
+	if !tagOK || isEnd {
+		return nil, "", false
+	}
+	local := localName(name)
+	if len(local) == 0 {
+		return nil, "", false
+	}
+	// Rewind to the start of the operation element and skip the whole
+	// Body subtree to find where its close tag begins.
+	closeStart, subtreeOK := s.findSubtreeClose(innerStart, s.bodyName)
+	if !subtreeOK {
+		return nil, "", false
+	}
+	// The envelope itself must close properly too: a sniff that
+	// succeeds vouches for the whole structural tree, so a message the
+	// DOM parse would reject is not treated as sniffed.
+	if !s.skipMisc() {
+		return nil, "", false
+	}
+	name, _, isEnd, _, tagOK = s.readTag()
+	if !tagOK || !isEnd || !bytes.Equal(name, s.envName) {
+		return nil, "", false
+	}
+	return s.data[innerStart:closeStart], string(local), true
+}
+
+// enterBody positions the scanner just after the Body start tag of a
+// SOAP 1.1 envelope, verifying the envelope namespace on the way.
+func (s *sniffer) enterBody() bool {
+	if len(s.data) > maxMessageBytes {
+		return false
+	}
+	if !s.skipMisc() {
+		return false
+	}
+	name, attrs, isEnd, selfClose, ok := s.readTag()
+	if !ok || isEnd || selfClose {
+		return false
+	}
+	prefix, local := splitName(name)
+	if string(local) != "Envelope" || !declaresEnvelopeNS(attrs, prefix) {
+		return false
+	}
+	s.envName = name
+	// Walk the Envelope's children: skip a Header subtree, stop inside
+	// Body. Anything else is unusual enough for the slow path.
+	for {
+		if !s.skipMisc() {
+			return false
+		}
+		name, _, isEnd, selfClose, ok = s.readTag()
+		if !ok || isEnd {
+			return false
+		}
+		switch string(localName(name)) {
+		case "Header":
+			if selfClose {
+				continue
+			}
+			headerStart := s.pos
+			closeStart, ok := s.findSubtreeClose(s.pos, name)
+			if !ok {
+				return false
+			}
+			// findSubtreeClose leaves pos past the close tag.
+			s.headerInner = s.data[headerStart:closeStart]
+		case "Body":
+			s.bodyName = name
+			return !selfClose
+		default:
+			return false
+		}
+	}
+}
+
+// skipMisc advances past whitespace, comments and processing
+// instructions, stopping at the next tag. It reports false on anything
+// else (stray text, DOCTYPE, truncation).
+func (s *sniffer) skipMisc() bool {
+	for s.pos < len(s.data) {
+		switch c := s.data[s.pos]; c {
+		case ' ', '\t', '\r', '\n':
+			s.pos++
+		case '<':
+			if s.pos+1 >= len(s.data) {
+				return false
+			}
+			switch s.data[s.pos+1] {
+			case '?':
+				end := bytes.Index(s.data[s.pos:], []byte("?>"))
+				if end < 0 {
+					return false
+				}
+				s.pos += end + 2
+			case '!':
+				if !bytes.HasPrefix(s.data[s.pos:], []byte("<!--")) {
+					return false // DOCTYPE or stray CDATA: slow path
+				}
+				end := bytes.Index(s.data[s.pos+4:], []byte("-->"))
+				if end < 0 {
+					return false
+				}
+				s.pos += 4 + end + 3
+			default:
+				return true
+			}
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// readTag parses the tag at pos (which must point at '<') and advances
+// past it. Quoted attribute values may contain any byte, including '>'.
+func (s *sniffer) readTag() (name, attrs []byte, isEnd, selfClose, ok bool) {
+	data, i := s.data, s.pos
+	if i >= len(data) || data[i] != '<' {
+		return nil, nil, false, false, false
+	}
+	i++
+	if i < len(data) && data[i] == '/' {
+		isEnd = true
+		i++
+	}
+	nameStart := i
+	for i < len(data) && !isTagDelim(data[i]) {
+		i++
+	}
+	if i == nameStart {
+		return nil, nil, false, false, false
+	}
+	name = data[nameStart:i]
+	attrStart := i
+	for i < len(data) {
+		switch c := data[i]; c {
+		case '"', '\'':
+			close := bytes.IndexByte(data[i+1:], c)
+			if close < 0 {
+				return nil, nil, false, false, false
+			}
+			i += close + 2
+		case '>':
+			selfClose = i > attrStart && data[i-1] == '/'
+			attrEnd := i
+			if selfClose {
+				attrEnd--
+			}
+			s.pos = i + 1
+			return name, data[attrStart:attrEnd], isEnd, selfClose, true
+		default:
+			i++
+		}
+	}
+	return nil, nil, false, false, false
+}
+
+// sniffMaxDepth bounds the tag-name stack of findSubtreeClose. Deeper
+// nesting is unusual enough for the slow path.
+const sniffMaxDepth = 32
+
+// findSubtreeClose scans the content of an element whose start tag
+// (raw name open) has just been consumed, content beginning at from, and
+// returns the offset of the '<' of its matching close tag, leaving pos
+// just past that close tag. Every close tag must match its open tag by
+// name: mismatched tags — the structural malformation a DOM parse would
+// reject — report !ok so the caller falls back to Parse instead of
+// treating a broken message as sniffed. Non-structural malformation
+// (undefined entities, bad attribute syntax, encoding errors) is still
+// only detected by a full parse.
+func (s *sniffer) findSubtreeClose(from int, open []byte) (closeStart int, ok bool) {
+	s.pos = from
+	var stack [sniffMaxDepth][]byte
+	depth := 0
+	for {
+		off := bytes.IndexByte(s.data[s.pos:], '<')
+		if off < 0 {
+			return 0, false
+		}
+		s.pos += off
+		tagStart := s.pos
+		switch {
+		case bytes.HasPrefix(s.data[s.pos:], []byte("<!--")):
+			end := bytes.Index(s.data[s.pos+4:], []byte("-->"))
+			if end < 0 {
+				return 0, false
+			}
+			s.pos += 4 + end + 3
+		case bytes.HasPrefix(s.data[s.pos:], []byte("<![CDATA[")):
+			end := bytes.Index(s.data[s.pos+9:], []byte("]]>"))
+			if end < 0 {
+				return 0, false
+			}
+			s.pos += 9 + end + 3
+		case bytes.HasPrefix(s.data[s.pos:], []byte("<?")):
+			end := bytes.Index(s.data[s.pos:], []byte("?>"))
+			if end < 0 {
+				return 0, false
+			}
+			s.pos += end + 2
+		default:
+			name, _, isEnd, selfClose, tagOK := s.readTag()
+			if !tagOK {
+				return 0, false
+			}
+			switch {
+			case isEnd:
+				if depth == 0 {
+					if !bytes.Equal(name, open) {
+						return 0, false
+					}
+					return tagStart, true
+				}
+				depth--
+				if !bytes.Equal(name, stack[depth]) {
+					return 0, false
+				}
+			case !selfClose:
+				if depth == sniffMaxDepth {
+					return 0, false
+				}
+				stack[depth] = name
+				depth++
+			}
+		}
+	}
+}
+
+// splitName splits a raw tag name into prefix and local part.
+func splitName(name []byte) (prefix, local []byte) {
+	if i := bytes.IndexByte(name, ':'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return nil, name
+}
+
+func localName(name []byte) []byte {
+	_, local := splitName(name)
+	return local
+}
+
+// declaresEnvelopeNS reports whether the root element's attribute span
+// binds the root's own prefix (or the default namespace for an
+// unprefixed root) to the SOAP 1.1 envelope namespace.
+func declaresEnvelopeNS(attrs []byte, prefix []byte) bool {
+	i := 0
+	for i < len(attrs) {
+		c := attrs[i]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			i++
+			continue
+		}
+		nameStart := i
+		for i < len(attrs) && attrs[i] != '=' && !isTagDelim(attrs[i]) {
+			i++
+		}
+		attrName := attrs[nameStart:i]
+		for i < len(attrs) && (attrs[i] == ' ' || attrs[i] == '\t' || attrs[i] == '\r' || attrs[i] == '\n') {
+			i++
+		}
+		if i >= len(attrs) || attrs[i] != '=' {
+			return false
+		}
+		i++
+		for i < len(attrs) && (attrs[i] == ' ' || attrs[i] == '\t' || attrs[i] == '\r' || attrs[i] == '\n') {
+			i++
+		}
+		if i >= len(attrs) || (attrs[i] != '"' && attrs[i] != '\'') {
+			return false
+		}
+		quote := attrs[i]
+		i++
+		valStart := i
+		close := bytes.IndexByte(attrs[i:], quote)
+		if close < 0 {
+			return false
+		}
+		value := attrs[valStart : valStart+close]
+		i = valStart + close + 1
+		var matches bool
+		if len(prefix) == 0 {
+			matches = bytes.Equal(attrName, []byte("xmlns"))
+		} else {
+			matches = len(attrName) == 6+len(prefix) &&
+				bytes.HasPrefix(attrName, []byte("xmlns:")) &&
+				bytes.Equal(attrName[6:], prefix)
+		}
+		if matches {
+			return string(value) == EnvelopeNS
+		}
+	}
+	return false
+}

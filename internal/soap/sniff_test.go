@@ -1,0 +1,161 @@
+package soap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The contract of the sniffer: whenever it reports ok, it agrees with
+// the full DOM parse on both the operation name and the raw Body span.
+func TestSniffAgreesWithParse(t *testing.T) {
+	envelopes := []string{
+		// Plain prefixed envelope (what EnvelopeRaw emits).
+		`<?xml version="1.0" encoding="UTF-8"?>` +
+			`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<soap:Body><addRequest><a>2</a><b>1</b></addRequest></soap:Body></soap:Envelope>`,
+		// Default-namespace envelope.
+		`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body><getQuote symbol="ACME"/></Body></Envelope>`,
+		// Single-quoted namespace declaration, extra attributes first.
+		`<e:Envelope id="1" xmlns:e='http://schemas.xmlsoap.org/soap/envelope/'>` +
+			`<e:Body><op:run xmlns:op="urn:x"><arg>1</arg></op:run></e:Body></e:Envelope>`,
+		// Header subtree with nesting, comments and CDATA.
+		`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<soap:Header><auth><token><![CDATA[a<b>c]]></token><!-- note --></auth></soap:Header>` +
+			`<soap:Body><transfer><amount>10</amount></transfer></soap:Body></soap:Envelope>`,
+		// Whitespace and comments around everything.
+		"\n <!-- preamble -->\n" +
+			`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` + "\n  " +
+			`<soap:Body>` + "\n    " + `<ping/>` + "\n  " + `</soap:Body>` + "\n" + `</soap:Envelope>`,
+		// Attribute value containing '>' inside the body.
+		`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<soap:Body><check expr="a > b"><x/></check></soap:Body></soap:Envelope>`,
+		// Self-closing Header.
+		`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<soap:Header/><soap:Body><noop/></soap:Body></soap:Envelope>`,
+		// Nested element with the same name as the operation.
+		`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<soap:Body><outer><outer>deep</outer></outer></soap:Body></soap:Envelope>`,
+	}
+	for _, env := range envelopes {
+		data := []byte(env)
+		parsed, err := Parse(data)
+		if err != nil {
+			t.Fatalf("corpus envelope does not parse: %v\n%s", err, env)
+		}
+		op, ok := SniffOperation(data)
+		if !ok {
+			t.Errorf("SniffOperation undetermined for:\n%s", env)
+			continue
+		}
+		if op != parsed.Operation.Local {
+			t.Errorf("SniffOperation = %q, Parse = %q for:\n%s", op, parsed.Operation.Local, env)
+		}
+		body, bodyOp, ok := SniffBody(data)
+		if !ok {
+			t.Errorf("SniffBody undetermined for:\n%s", env)
+			continue
+		}
+		if bodyOp != parsed.Operation.Local {
+			t.Errorf("SniffBody op = %q, Parse = %q", bodyOp, parsed.Operation.Local)
+		}
+		if !bytes.Equal(body, parsed.BodyXML) {
+			t.Errorf("SniffBody = %q\nParse BodyXML = %q\nfor:\n%s", body, parsed.BodyXML, env)
+		}
+	}
+}
+
+// Round-trip: what Envelope/EnvelopeRaw emit must always be sniffable.
+func TestSniffEnvelopeRawOutput(t *testing.T) {
+	env := EnvelopeRaw([]byte(`<addResponse><sum>3</sum></addResponse>`),
+		HeaderItem(`<conf:Confidence xmlns:conf="urn:c" value="0.9"/>`))
+	op, ok := SniffOperation(env)
+	if !ok || op != "addResponse" {
+		t.Fatalf("SniffOperation = %q, %v", op, ok)
+	}
+	body, op, ok := SniffBody(env)
+	if !ok || op != "addResponse" || string(body) != `<addResponse><sum>3</sum></addResponse>` {
+		t.Fatalf("SniffBody = %q, %q, %v", body, op, ok)
+	}
+}
+
+// Everything unusual must be reported as undetermined, never guessed.
+func TestSniffFallsBackConservatively(t *testing.T) {
+	cases := map[string]string{
+		"empty":             ``,
+		"not xml":           `hello`,
+		"not an envelope":   `<root><Body><op/></Body></root>`,
+		"wrong namespace":   `<Envelope xmlns="urn:not-soap"><Body><op/></Body></Envelope>`,
+		"no namespace":      `<Envelope><Body><op/></Body></Envelope>`,
+		"prefix undeclared": `<soap:Envelope><soap:Body><op/></soap:Body></soap:Envelope>`,
+		"empty body": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body></Body></Envelope>`,
+		"self-closing body": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body/></Envelope>`,
+		"truncated": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><op`,
+		"mismatched tags in body": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body><op><a></b></op></Body></Envelope>`,
+		"mismatched body close": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body><op/></NotBody></Envelope>`,
+		"mismatched tags in header": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Header><a></b></Header><Body><op/></Body></Envelope>`,
+		"mismatched envelope close": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body><op/></Body></NotEnvelope>`,
+		"unclosed envelope": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body><op/></Body>`,
+		"text before operation": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Body>stray<op/></Body></Envelope>`,
+		"unexpected envelope child": `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<Extra/><Body><op/></Body></Envelope>`,
+		"doctype": `<!DOCTYPE Envelope>` +
+			`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><op/></Body></Envelope>`,
+	}
+	for name, env := range cases {
+		if op, ok := SniffOperation([]byte(env)); ok {
+			t.Errorf("%s: SniffOperation guessed %q", name, op)
+		}
+		if body, op, ok := SniffBody([]byte(env)); ok {
+			t.Errorf("%s: SniffBody guessed %q / %q", name, op, body)
+		}
+	}
+}
+
+func TestSniffRejectsOversizedMessage(t *testing.T) {
+	huge := append([]byte(`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><op>`),
+		bytes.Repeat([]byte(" "), maxMessageBytes)...)
+	huge = append(huge, []byte(`</op></Body></Envelope>`)...)
+	if _, ok := SniffOperation(huge); ok {
+		t.Fatal("oversized message sniffed instead of deferred to Parse's limit check")
+	}
+}
+
+func BenchmarkSniffOperation(b *testing.B) {
+	env := EnvelopeRaw([]byte(`<addRequest><a>2</a><b>1</b></addRequest>`))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SniffOperation(env); !ok {
+			b.Fatal("sniff failed")
+		}
+	}
+}
+
+func BenchmarkSniffBodyVsParse(b *testing.B) {
+	env := EnvelopeRaw([]byte(`<addResponse><sum>42</sum></addResponse>`))
+	b.Run("sniff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := SniffBody(env); !ok {
+				b.Fatal("sniff failed")
+			}
+		}
+	})
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Parse(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"wsupgrade/internal/httpx"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -140,7 +142,11 @@ func Parse(data []byte) (*Parsed, error) {
 
 // DecodeBody unmarshals the first body element into v.
 func (p *Parsed) DecodeBody(v interface{}) error {
-	if err := xml.Unmarshal(p.BodyXML, v); err != nil {
+	return decodeBody(p.BodyXML, v)
+}
+
+func decodeBody(bodyXML []byte, v interface{}) error {
+	if err := xml.Unmarshal(bodyXML, v); err != nil {
 		return fmt.Errorf("soap: decoding body: %w", err)
 	}
 	return nil
@@ -312,15 +318,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxMessageBytes+1))
+	data, err := httpx.ReadBounded(r.Body, maxMessageBytes)
 	if err != nil {
 		writeFault(w, ClientFault(fmt.Sprintf("reading request: %v", err)))
 		return
 	}
-	parsed, err := Parse(data)
-	if err != nil {
-		writeFault(w, ClientFault(err.Error()))
-		return
+	// Route on the zero-copy sniff when the envelope is common-form; the
+	// DOM parse runs only for unusual messages.
+	parsed, ok := SniffEnvelope(data)
+	if !ok {
+		var perr error
+		if parsed, perr = Parse(data); perr != nil {
+			writeFault(w, ClientFault(perr.Error()))
+			return
+		}
 	}
 	op := parsed.Operation.Local
 	h, ok := s.ops[op]
@@ -397,6 +408,9 @@ func (c *Client) Call(ctx context.Context, operation string, in, out interface{}
 	if out == nil {
 		return nil
 	}
+	if inner, _, ok := SniffBody(respBody); ok {
+		return decodeBody(inner, out)
+	}
 	parsed, err := Parse(respBody)
 	if err != nil {
 		return err
@@ -419,7 +433,7 @@ func (c *Client) CallRaw(ctx context.Context, operation string, envelope []byte)
 		return nil, fmt.Errorf("soap: calling %s: %w", c.URL, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxMessageBytes+1))
+	data, err := httpx.ReadBounded(resp.Body, maxMessageBytes)
 	if err != nil {
 		return nil, fmt.Errorf("soap: reading response: %w", err)
 	}

@@ -25,10 +25,14 @@
 package wsupgrade
 
 import (
+	"net/http"
+	"time"
+
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/bayes"
 	"wsupgrade/internal/composite"
 	"wsupgrade/internal/core"
+	"wsupgrade/internal/httpx"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/registry"
@@ -83,6 +87,20 @@ const (
 
 // NewEngine builds a managed-upgrade middleware.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
+
+// RetryPolicy tolerates transient transport failures per release call
+// (EngineConfig.Retry) and bounds release response bodies via
+// MaxResponseBytes.
+type RetryPolicy = httpx.RetryPolicy
+
+// NewPooledClient returns an HTTP client whose transport is tuned for
+// the middleware's traffic shape: keep-alive fan-out to a small set of
+// release hosts. The engine builds one automatically when
+// EngineConfig.HTTP is nil; it is exported for consumers that want the
+// same pooling toward the proxy itself.
+func NewPooledClient(timeout time.Duration, hosts int) *http.Client {
+	return httpx.NewPooledClient(timeout, hosts)
+}
 
 // ---------------------------------------------------------------------------
 // Confidence (§5.1).
