@@ -375,8 +375,10 @@ func (t *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}, nil
 }
 
-// newInProcessEngine builds an engine over n stub releases.
-func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int) *Engine {
+// newInProcessEngine builds an engine over n stub releases, starting in
+// the given lifecycle phase (the lifecycle guards reject backward
+// transitions, so benchmarks start where they measure).
+func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase) *Engine {
 	b.Helper()
 	respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
 	if err != nil {
@@ -390,10 +392,11 @@ func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int) *Engine {
 		}
 	}
 	engine, err := NewEngine(EngineConfig{
-		Releases: eps,
-		Mode:     mode,
-		Quorum:   quorum,
-		HTTP:     &http.Client{Transport: &stubTransport{resp: respEnv}},
+		Releases:     eps,
+		Mode:         mode,
+		Quorum:       quorum,
+		InitialPhase: phase,
+		HTTP:         &http.Client{Transport: &stubTransport{resp: respEnv}},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -403,11 +406,8 @@ func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int) *Engine {
 }
 
 // driveInProcess pushes requests straight into the engine's handler.
-func driveInProcess(b *testing.B, engine *Engine, phase Phase) {
+func driveInProcess(b *testing.B, engine *Engine) {
 	b.Helper()
-	if err := engine.SetPhase(phase); err != nil {
-		b.Fatal(err)
-	}
 	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -439,7 +439,7 @@ func BenchmarkEngineInProcess(b *testing.B) {
 		{"new-only-fastpath", PhaseNewOnly},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0), tc.phase)
+			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0, tc.phase))
 		})
 	}
 }
@@ -461,10 +461,72 @@ func BenchmarkEngineInProcessModes(b *testing.B) {
 			{"sequential", ModeSequential, 0},
 		} {
 			b.Run(fmt.Sprintf("%s-%dv", mc.name, n), func(b *testing.B) {
-				driveInProcess(b, newInProcessEngine(b, n, mc.mode, mc.quorum), PhaseParallel)
+				driveInProcess(b, newInProcessEngine(b, n, mc.mode, mc.quorum, PhaseParallel))
 			})
 		}
 	}
+}
+
+// BenchmarkFleetInProcess measures the fleet router's overhead over a
+// direct engine dispatch: the same stub-transport engine is driven
+// straight (the ROADMAP baseline) and through a two-unit fleet's path
+// router. The delta between the two sub-benchmarks is the cost of
+// hosting N units behind one listener — budgeted at ≤ 1 µs/op and
+// ≤ 5 allocs/op.
+func BenchmarkFleetInProcess(b *testing.B) {
+	respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stub := &http.Client{Transport: &stubTransport{resp: respEnv}}
+	unitEngine := func(prefix string) EngineConfig {
+		return EngineConfig{
+			Releases: []Endpoint{
+				{Version: "1.0", URL: "http://" + prefix + "-old.invalid"},
+				{Version: "1.1", URL: "http://" + prefix + "-new.invalid"},
+			},
+			InitialPhase: PhaseOldOnly,
+			HTTP:         stub,
+		}
+	}
+	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := func(b *testing.B, h http.Handler, path string) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(reqEnv))
+			req.Header.Set("Content-Type", soap.ContentType)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		engine, err := NewEngine(unitEngine("solo"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = engine.Close() })
+		drive(b, engine, "/")
+	})
+	b.Run("fleet-routed", func(b *testing.B) {
+		fl, err := NewFleet(FleetConfig{Units: []FleetUnit{
+			{Name: "flights", Engine: unitEngine("flights")},
+			{Name: "hotels", Engine: unitEngine("hotels")},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = fl.Close() })
+		drive(b, fl, "/flights/")
+	})
 }
 
 // BenchmarkMonitorNoteParallel measures the monitoring subsystem's write

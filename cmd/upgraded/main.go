@@ -4,6 +4,8 @@
 // adjudicates, monitors, and switches to the new release when the
 // configured confidence criterion is met.
 //
+// Single-unit mode manages one service from flags:
+//
 //	upgraded -addr :8080 \
 //	    -release 1.0=http://localhost:8081 \
 //	    -release 1.1=http://localhost:8082 \
@@ -14,27 +16,63 @@
 // "/wsdl" and liveness at "/healthz"; it answers the §6.2 OperationConf
 // and "<op>Conf" operations, and logs every adjudicated demand as JSONL
 // to -log (default stderr off).
+//
+// Fleet mode hosts many upgrade units — the Fig 1/4 composite's
+// components, each upgrading independently — behind one listener from a
+// JSON config:
+//
+//	upgraded -addr :8080 -fleet fleet.json
+//
+//	{
+//	  "units": [
+//	    {"name": "flights", "phase": "observation", "criterion": 3,
+//	     "releases": [{"version": "1.0", "url": "http://localhost:8081"},
+//	                  {"version": "1.1", "url": "http://localhost:8082"}]},
+//	    {"name": "hotels",
+//	     "releases": [{"version": "2.0", "url": "http://localhost:8091"}]}
+//	  ]
+//	}
+//
+// Units are served under "/<name>/" (or dedicated virtual hosts via
+// "hosts"), with the JSON admin API under /fleet/ (per-unit status,
+// SetPhase, SetMode, release add/remove, confidence) and the registry
+// upgrade-notification fan-in at /fleet/notify.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests via
+// http.Server.Shutdown (bounded by -drain), then closes the engine or
+// fleet so background monitoring work completes.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"wsupgrade/internal/bayes"
 	"wsupgrade/internal/core"
+	"wsupgrade/internal/dispatch"
+	"wsupgrade/internal/fleet"
+	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/service"
 	"wsupgrade/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "upgraded:", err)
 		os.Exit(1)
 	}
@@ -53,12 +91,208 @@ func (r *releaseFlags) Set(v string) error {
 	return nil
 }
 
-func run(args []string) error {
+// unitParams is everything needed to build one unit's engine config —
+// shared by the single-unit flags and each fleet config entry.
+type unitParams struct {
+	Releases   []core.Endpoint
+	Phase      string
+	Mode       string
+	Quorum     int
+	Timeout    time.Duration
+	Criterion  int
+	Confidence float64
+	Target     float64
+	CheckEvery int
+	PfdUpper   float64
+	Oracle     string
+	LogPath    string
+}
+
+// engineConfig translates unit parameters into a core.Config. The
+// returned closer owns the JSONL log file, if any.
+func engineConfig(p unitParams) (core.Config, io.Closer, error) {
+	cfg := core.Config{
+		Releases: p.Releases,
+		Timeout:  p.Timeout,
+		Quorum:   p.Quorum,
+	}
+	if len(p.Releases) == 0 {
+		return cfg, nil, fmt.Errorf("at least one release is required")
+	}
+
+	if p.Phase != "" {
+		phase, err := lifecycle.ParsePhase(p.Phase)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("unknown phase %q", p.Phase)
+		}
+		cfg.InitialPhase = phase
+	}
+	if p.Mode != "" {
+		mode, err := dispatch.ParseMode(p.Mode)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("unknown mode %q", p.Mode)
+		}
+		cfg.Mode = mode
+	}
+
+	switch p.Oracle {
+	case "fault-only":
+		cfg.Oracle = oracle.FaultOnly{}
+	case "reference", "":
+		cfg.Oracle = oracle.Reference{Release: p.Releases[0].Version}
+	case "back-to-back":
+		cfg.Oracle = oracle.BackToBack{}
+	default:
+		return cfg, nil, fmt.Errorf("unknown oracle %q", p.Oracle)
+	}
+
+	pfdUpper := p.PfdUpper
+	if pfdUpper == 0 {
+		pfdUpper = 0.1
+	}
+	prior := stats.ScaledBeta{Alpha: 1, Beta: 3, Upper: pfdUpper}
+	cfg.Inference = &bayes.WhiteBoxConfig{
+		PriorA: prior, PriorB: prior,
+		GridA: 60, GridB: 60, GridC: 16, GridAB: 80,
+	}
+	cfg.ConfidenceTarget = p.Target
+	cfg.EnableConfOps = true
+	cfg.PublishHeader = true
+	contract := service.DemoContract(p.Releases[len(p.Releases)-1].Version)
+	cfg.Contract = &contract
+
+	if p.Criterion != 0 {
+		confidence := p.Confidence
+		if confidence == 0 {
+			confidence = 0.99
+		}
+		var crit bayes.Criterion
+		switch p.Criterion {
+		case 1:
+			c1, err := bayes.NewCriterion1(prior, confidence)
+			if err != nil {
+				return cfg, nil, err
+			}
+			crit = c1
+		case 2:
+			crit = bayes.Criterion2{Confidence: confidence, Target: p.Target}
+		case 3:
+			crit = bayes.Criterion3{Confidence: confidence}
+		default:
+			return cfg, nil, fmt.Errorf("unknown criterion %d", p.Criterion)
+		}
+		checkEvery := p.CheckEvery
+		if checkEvery == 0 {
+			checkEvery = 100
+		}
+		cfg.Policy = &core.PolicyConfig{Criterion: crit, CheckEvery: checkEvery}
+	}
+
+	var closer io.Closer
+	if p.LogPath != "" {
+		f, err := os.OpenFile(p.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("opening log: %w", err)
+		}
+		cfg.Store = f
+		closer = f
+	}
+	return cfg, closer, nil
+}
+
+// fleetFile is the -fleet JSON configuration.
+type fleetFile struct {
+	// AdminToken guards the /fleet/ management surface (see
+	// fleet.Config.AdminToken); the -admin-token flag overrides it.
+	AdminToken string      `json:"adminToken,omitempty"`
+	Units      []fleetUnit `json:"units"`
+}
+
+type fleetUnit struct {
+	Name       string          `json:"name"`
+	Hosts      []string        `json:"hosts,omitempty"`
+	Service    string          `json:"service,omitempty"`
+	Releases   []core.Endpoint `json:"releases"`
+	Phase      string          `json:"phase,omitempty"`
+	Mode       string          `json:"mode,omitempty"`
+	Quorum     int             `json:"quorum,omitempty"`
+	TimeoutMS  int             `json:"timeoutMs,omitempty"`
+	Criterion  int             `json:"criterion,omitempty"`
+	Confidence float64         `json:"confidence,omitempty"`
+	Target     float64         `json:"target,omitempty"`
+	CheckEvery int             `json:"checkEvery,omitempty"`
+	PfdUpper   float64         `json:"pfdUpper,omitempty"`
+	Oracle     string          `json:"oracle,omitempty"`
+	Log        string          `json:"log,omitempty"`
+}
+
+// loadFleetConfig builds the fleet configuration from a JSON file.
+func loadFleetConfig(path string, defaultTarget float64) (fleet.Config, []io.Closer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fleet.Config{}, nil, fmt.Errorf("reading fleet config: %w", err)
+	}
+	var ff fleetFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return fleet.Config{}, nil, fmt.Errorf("parsing fleet config: %w", err)
+	}
+	if len(ff.Units) == 0 {
+		return fleet.Config{}, nil, fmt.Errorf("fleet config has no units")
+	}
+	cfg := fleet.Config{AdminToken: ff.AdminToken}
+	var closers []io.Closer
+	closeAll := func() {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	}
+	for _, u := range ff.Units {
+		target := u.Target
+		if target == 0 {
+			target = defaultTarget
+		}
+		ecfg, closer, err := engineConfig(unitParams{
+			Releases:   u.Releases,
+			Phase:      u.Phase,
+			Mode:       u.Mode,
+			Quorum:     u.Quorum,
+			Timeout:    time.Duration(u.TimeoutMS) * time.Millisecond,
+			Criterion:  u.Criterion,
+			Confidence: u.Confidence,
+			Target:     target,
+			CheckEvery: u.CheckEvery,
+			PfdUpper:   u.PfdUpper,
+			Oracle:     u.Oracle,
+			LogPath:    u.Log,
+		})
+		if err != nil {
+			closeAll()
+			return fleet.Config{}, nil, fmt.Errorf("unit %q: %w", u.Name, err)
+		}
+		if closer != nil {
+			closers = append(closers, closer)
+		}
+		cfg.Units = append(cfg.Units, fleet.UnitConfig{
+			Name:    u.Name,
+			Hosts:   u.Hosts,
+			Service: u.Service,
+			Engine:  ecfg,
+		})
+	}
+	return cfg, closers, nil
+}
+
+// onListen, when set, observes the bound listener address (tests bind
+// to :0 and need the real port).
+var onListen func(net.Addr)
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("upgraded", flag.ContinueOnError)
 	var releases releaseFlags
 	fs.Var(&releases, "release", "deployed release as version=url (repeat; oldest first)")
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
+		fleetPath  = fs.String("fleet", "", "fleet config JSON: host many upgrade units behind this listener")
 		phase      = fs.String("phase", "parallel", "initial phase: old-only|observation|parallel|new-only")
 		mode       = fs.String("mode", "reliability", "fan-out mode: reliability|responsiveness|dynamic|sequential")
 		quorum     = fs.Int("quorum", 1, "responses to wait for in dynamic mode")
@@ -70,108 +304,112 @@ func run(args []string) error {
 		pfdUpper   = fs.Float64("pfd-upper", 0.1, "prior pfd support upper bound")
 		logPath    = fs.String("log", "", "JSONL event log path (empty = no log)")
 		oracleName = fs.String("oracle", "reference", "failure oracle: fault-only|reference|back-to-back")
+		adminToken = fs.String("admin-token", "", "fleet mode: token guarding the /fleet/ admin API (overrides the config's adminToken)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(releases) == 0 {
-		return fmt.Errorf("at least one -release is required")
-	}
 
-	cfg := core.Config{
-		Releases: releases,
-		Timeout:  *timeout,
-		Quorum:   *quorum,
-	}
-
-	switch *phase {
-	case "old-only":
-		cfg.InitialPhase = core.PhaseOldOnly
-	case "observation":
-		cfg.InitialPhase = core.PhaseObservation
-	case "parallel":
-		cfg.InitialPhase = core.PhaseParallel
-	case "new-only":
-		cfg.InitialPhase = core.PhaseNewOnly
-	default:
-		return fmt.Errorf("unknown phase %q", *phase)
-	}
-
-	switch *mode {
-	case "reliability":
-		cfg.Mode = core.ModeReliability
-	case "responsiveness":
-		cfg.Mode = core.ModeResponsiveness
-	case "dynamic":
-		cfg.Mode = core.ModeDynamic
-	case "sequential":
-		cfg.Mode = core.ModeSequential
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
-	}
-
-	switch *oracleName {
-	case "fault-only":
-		cfg.Oracle = oracle.FaultOnly{}
-	case "reference":
-		cfg.Oracle = oracle.Reference{Release: releases[0].Version}
-	case "back-to-back":
-		cfg.Oracle = oracle.BackToBack{}
-	default:
-		return fmt.Errorf("unknown oracle %q", *oracleName)
-	}
-
-	prior := stats.ScaledBeta{Alpha: 1, Beta: 3, Upper: *pfdUpper}
-	cfg.Inference = &bayes.WhiteBoxConfig{
-		PriorA: prior, PriorB: prior,
-		GridA: 60, GridB: 60, GridC: 16, GridAB: 80,
-	}
-	cfg.ConfidenceTarget = *target
-	cfg.EnableConfOps = true
-	cfg.PublishHeader = true
-	contract := service.DemoContract(releases[len(releases)-1].Version)
-	cfg.Contract = &contract
-
-	if *criterion != 0 {
-		var crit bayes.Criterion
-		switch *criterion {
-		case 1:
-			c1, err := bayes.NewCriterion1(prior, *confidence)
-			if err != nil {
-				return err
-			}
-			crit = c1
-		case 2:
-			crit = bayes.Criterion2{Confidence: *confidence, Target: *target}
-		case 3:
-			crit = bayes.Criterion3{Confidence: *confidence}
-		default:
-			return fmt.Errorf("unknown criterion %d", *criterion)
-		}
-		cfg.Policy = &core.PolicyConfig{Criterion: crit, CheckEvery: *checkEvery}
-	}
-
-	if *logPath != "" {
-		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var (
+		handler http.Handler
+		closer  func() error
+		banner  string
+	)
+	if *fleetPath != "" {
+		cfg, logClosers, err := loadFleetConfig(*fleetPath, *target)
 		if err != nil {
-			return fmt.Errorf("opening log: %w", err)
+			return err
 		}
-		defer f.Close()
-		cfg.Store = io.Writer(f)
+		if *adminToken != "" {
+			cfg.AdminToken = *adminToken
+		}
+		f, err := fleet.New(cfg)
+		if err != nil {
+			for _, c := range logClosers {
+				_ = c.Close()
+			}
+			return err
+		}
+		handler = f
+		closer = func() error {
+			err := f.Close()
+			for _, c := range logClosers {
+				_ = c.Close()
+			}
+			return err
+		}
+		banner = fmt.Sprintf("hosting %d upgrade units on %s", len(cfg.Units), *addr)
+	} else {
+		cfg, logCloser, err := engineConfig(unitParams{
+			Releases:   releases,
+			Phase:      *phase,
+			Mode:       *mode,
+			Quorum:     *quorum,
+			Timeout:    *timeout,
+			Criterion:  *criterion,
+			Confidence: *confidence,
+			Target:     *target,
+			CheckEvery: *checkEvery,
+			PfdUpper:   *pfdUpper,
+			Oracle:     *oracleName,
+			LogPath:    *logPath,
+		})
+		if err != nil {
+			return err
+		}
+		engine, err := core.New(cfg)
+		if err != nil {
+			if logCloser != nil {
+				_ = logCloser.Close()
+			}
+			return err
+		}
+		handler = engine.Handler()
+		closer = func() error {
+			err := engine.Close()
+			if logCloser != nil {
+				_ = logCloser.Close()
+			}
+			return err
+		}
+		banner = fmt.Sprintf("managing %d releases on %s (phase %v, mode %v)",
+			len(releases), *addr, cfg.InitialPhase, cfg.Mode)
 	}
 
-	engine, err := core.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		_ = closer()
 		return err
 	}
-	defer engine.Close()
-
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           engine.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("upgraded: managing %d releases on %s (phase %v, mode %v)",
-		len(releases), *addr, cfg.InitialPhase, cfg.Mode)
-	return srv.ListenAndServe()
+	log.Printf("upgraded: %s", banner)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		_ = closer()
+		return err
+	case <-ctx.Done():
+		// Drain in-flight requests, then let the engine/fleet finish its
+		// background monitoring work.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		shutErr := srv.Shutdown(drainCtx)
+		if shutErr != nil {
+			_ = srv.Close()
+		}
+		closeErr := closer()
+		<-errCh // Serve has returned (http.ErrServerClosed)
+		log.Printf("upgraded: drained and stopped")
+		return errors.Join(shutErr, closeErr)
+	}
 }

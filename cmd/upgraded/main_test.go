@@ -1,8 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestReleaseFlagParsing(t *testing.T) {
@@ -35,12 +44,153 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 		"bad criterion": {"-release", "1.0=http://x", "-criterion", "9"},
 		"bad oracle":    {"-release", "1.0=http://x", "-oracle", "crystal-ball"},
 		"bad flag":      {"-bogus"},
+		"missing fleet": {"-fleet", "/nonexistent/fleet.json"},
 	}
 	for name, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("%s: accepted", name)
 		} else if strings.Contains(err.Error(), "listen") {
 			t.Errorf("%s: reached ListenAndServe: %v", name, err)
 		}
+	}
+}
+
+func TestFleetConfigRejected(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not json":  `釣り`,
+		"no units":  `{"units": []}`,
+		"bad unit":  `{"units": [{"name": "a", "releases": []}]}`,
+		"bad phase": `{"units": [{"name": "a", "phase": "sideways", "releases": [{"version":"1.0","url":"http://x"}]}]}`,
+		"reserved name": `{"units": [{"name": "fleet",
+			"releases": [{"version":"1.0","url":"http://x"}, {"version":"1.1","url":"http://y"}]}]}`,
+	}
+	i := 0
+	for name, content := range cases {
+		path := filepath.Join(dir, fmt.Sprintf("fleet-%d.json", i))
+		i++
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), []string{"-fleet", path}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// startRun boots run() on an ephemeral port and returns the base URL
+// and a shutdown trigger.
+func startRun(t *testing.T, args []string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, args...))
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), cancel, errCh
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("run exited before listening: %v", err)
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("run never bound its listener")
+		return "", nil, nil
+	}
+}
+
+// SIGINT/SIGTERM cancel main's context; run must drain via
+// http.Server.Shutdown and close the engine, returning nil.
+func TestGracefulShutdownSingleUnit(t *testing.T) {
+	base, cancel, errCh := startRun(t, []string{
+		"-release", "1.0=http://127.0.0.1:1",
+		"-phase", "old-only", "-criterion", "0",
+	})
+	// The server is live.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	// Trigger shutdown; run returns cleanly.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run never drained")
+	}
+	// The listener really is gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+func TestFleetModeServesUnitsAndAdmin(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	cfg := `{"units": [
+		{"name": "flights", "criterion": 0,
+		 "releases": [{"version": "1.0", "url": "http://127.0.0.1:1"},
+		              {"version": "1.1", "url": "http://127.0.0.1:1"}]},
+		{"name": "hotels", "phase": "old-only", "criterion": 3,
+		 "releases": [{"version": "2.0", "url": "http://127.0.0.1:1"},
+		              {"version": "2.1", "url": "http://127.0.0.1:1"}]}
+	]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, errCh := startRun(t, []string{"-fleet", path})
+	defer cancel()
+
+	resp, err := http.Get(base + "/fleet/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin units = %d: %s", resp.StatusCode, body)
+	}
+	var units []struct {
+		Unit  string `json:"unit"`
+		Phase string `json:"phase"`
+	}
+	if err := json.Unmarshal(body, &units); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if len(units) != 2 || units[0].Unit != "flights" || units[1].Phase != "old-only" {
+		t.Fatalf("units = %+v", units)
+	}
+	// Per-unit surface is routed.
+	resp, err = http.Get(base + "/flights/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/flights/healthz = %d", resp.StatusCode)
+	}
+
+	// Fleet shutdown drains cleanly too.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("fleet run never drained")
 	}
 }

@@ -1,0 +1,295 @@
+// Fleet: the paper's composite scenario (Figs 1 and 4, §7) end to end.
+//
+// A travel-agency composite Web Service books trips by calling two
+// component services — flights and hotels — provided by third parties.
+// Each component is upgrading independently: two releases run side by
+// side behind ONE fleet listener that hosts a managed-upgrade unit per
+// component (path routing: /flights/…, /hotels/…). The composite's glue
+// code is bound to the fleet endpoints and never notices the upgrades.
+//
+// While the travel agency serves bookings, each unit observes its new
+// release back-to-back with the old one, accumulates Bayesian
+// confidence, and switches when criterion 3 (new no worse than old) is
+// met — independently, at its own pace. Afterwards a brand-new hotels
+// release is published to the registry, whose §7.2 upgrade notification
+// fans into the fleet and deploys the release online.
+//
+// Run with: go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"wsupgrade"
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/core"
+	"wsupgrade/internal/fleet"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/registry"
+	"wsupgrade/internal/relmodel"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/wsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve starts an HTTP handler on an ephemeral local port.
+func serve(h http.Handler) (url string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// component boots two releases of one component service and returns its
+// fleet unit configuration: the old release visibly fails now and then,
+// the new one is better but unproven.
+func component(name string, seed uint64) (fleet.UnitConfig, []func(), error) {
+	var stops []func()
+	prior := wsupgrade.ScaledBeta{Alpha: 1, Beta: 3, Upper: 0.3}
+	releases := make([]core.Endpoint, 0, 2)
+	for i, plan := range []wsupgrade.FaultPlan{
+		{Profile: relmodel.Profile{CR: 0.93, ER: 0.05, NER: 0.02}, Seed: seed},
+		{Profile: relmodel.Profile{CR: 0.99, ER: 0.008, NER: 0.002}, Seed: seed + 1},
+	} {
+		version := fmt.Sprintf("%d.%d", 1, i)
+		rel, err := wsupgrade.NewRelease(service.DemoContract(version), service.DemoBehaviours(), plan)
+		if err != nil {
+			return fleet.UnitConfig{}, stops, err
+		}
+		url, stop, err := serve(rel.Handler())
+		if err != nil {
+			return fleet.UnitConfig{}, stops, err
+		}
+		stops = append(stops, stop)
+		releases = append(releases, core.Endpoint{Version: version, URL: url})
+	}
+	return fleet.UnitConfig{
+		Name: name,
+		Engine: core.Config{
+			Releases:     releases,
+			InitialPhase: wsupgrade.PhaseObservation, // deliver old, observe new (§3.1)
+			Oracle:       oracle.Reference{Release: releases[0].Version},
+			Inference: &wsupgrade.WhiteBoxConfig{
+				PriorA: prior, PriorB: prior,
+				GridA: 50, GridB: 50, GridC: 12, GridAB: 60,
+			},
+			Policy: &wsupgrade.PolicyConfig{
+				Criterion:  bayes.Criterion3{Confidence: 0.95},
+				CheckEvery: 50,
+				MinDemands: 100,
+			},
+			ConfidenceTarget: 0.05,
+			Seed:             seed,
+		},
+	}, stops, nil
+}
+
+// bookTripRequest/Response are the travel agency's own contract.
+type bookTripRequest struct {
+	XMLName struct{} `xml:"bookTripRequest"`
+	Nights  int      `xml:"nights"`
+	Bags    int      `xml:"bags"`
+}
+
+type bookTripResponse struct {
+	XMLName struct{} `xml:"bookTripResponse"`
+	Total   int      `xml:"total"`
+}
+
+func run() error {
+	// --- The two upgrading components behind one fleet ---------------------
+	flights, stopsF, err := component("flights", 11)
+	defer func() {
+		for _, s := range stopsF {
+			s()
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	hotels, stopsH, err := component("hotels", 22)
+	defer func() {
+		for _, s := range stopsH {
+			s()
+		}
+	}()
+	if err != nil {
+		return err
+	}
+
+	fl, err := fleet.New(fleet.Config{Units: []fleet.UnitConfig{flights, hotels}})
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	fleetURL, stopFleet, err := serve(fl)
+	if err != nil {
+		return err
+	}
+	defer stopFleet()
+	fmt.Printf("fleet: hosting %d upgrade units on %s (units /flights, /hotels; admin /fleet)\n",
+		len(fl.Units()), fleetURL)
+
+	fl.OnTransition(func(tr wsupgrade.Transition) {
+		fmt.Printf("fleet: unit %-8s %v → %v (%v)\n", tr.Unit, tr.From, tr.To, tr.Cause)
+	})
+
+	// --- The registry and the §7.2 notification fan-in ----------------------
+	reg := wsupgrade.NewRegistry()
+	regURL, stopReg, err := serve(reg)
+	if err != nil {
+		return err
+	}
+	defer stopReg()
+	regClient := &wsupgrade.RegistryClient{Base: regURL}
+	ctx := context.Background()
+	for _, u := range fl.Units() {
+		newest := u.Engine().Releases()
+		if err := regClient.Publish(ctx, registry.Entry{
+			Name:    u.Service(),
+			Version: newest[len(newest)-1].Version,
+			URL:     fleetURL + "/" + u.Name(),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := fl.Subscribe(ctx, regClient, fleetURL); err != nil {
+		return err
+	}
+
+	// --- The travel-agency composite (Fig 1's glue code) -------------------
+	contract := wsdl.Contract{
+		Name:            "TravelAgency",
+		TargetNamespace: "urn:wsupgrade:travel",
+		Version:         "1.0",
+		Operations: []wsdl.Operation{{
+			Name:   "bookTrip",
+			Doc:    "Books a flight and a hotel; returns the total price.",
+			Input:  []wsdl.Param{{Name: "nights", Type: "s:int"}, {Name: "bags", Type: "s:int"}},
+			Output: []wsdl.Param{{Name: "total", Type: "s:int"}},
+		}},
+	}
+	agency, err := wsupgrade.NewComposite(contract)
+	if err != nil {
+		return err
+	}
+	// The components are bound at the FLEET, not at any concrete release:
+	// the upgrades stay invisible to the glue.
+	if err := agency.Bind("flights", fleetURL+"/flights"); err != nil {
+		return err
+	}
+	if err := agency.Bind("hotels", fleetURL+"/hotels"); err != nil {
+		return err
+	}
+	err = agency.Handle("bookTrip", func(ctx context.Context, req *soap.Request, deps *wsupgrade.CompositeDeps) (interface{}, error) {
+		var in bookTripRequest
+		if err := req.Decode(&in); err != nil {
+			return nil, err
+		}
+		var flight, hotel service.AddResponse
+		// Flight price: base fare 100 plus 25 per bag.
+		if err := deps.Call(ctx, "flights", "add", service.AddRequest{A: 100, B: 25 * in.Bags}, &flight); err != nil {
+			return nil, err
+		}
+		// Hotel price: 80 per night plus a 30 city tax.
+		if err := deps.Call(ctx, "hotels", "add", service.AddRequest{A: 80 * in.Nights, B: 30}, &hotel); err != nil {
+			return nil, err
+		}
+		return bookTripResponse{Total: flight.Sum + hotel.Sum}, nil
+	})
+	if err != nil {
+		return err
+	}
+	agencyURL, stopAgency, err := serve(agency.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopAgency()
+
+	// --- Consumer traffic through the whole composite ----------------------
+	fmt.Println("travel-agency: booking trips while both components upgrade...")
+	client := &wsupgrade.SOAPClient{URL: agencyURL, HTTP: wsupgrade.NewPooledClient(10*time.Second, 1)}
+	booked, failed := 0, 0
+	for i := 1; i <= 800; i++ {
+		nights, bags := 1+i%7, i%3
+		var out bookTripResponse
+		err := client.Call(ctx, "bookTrip", bookTripRequest{Nights: nights, Bags: bags}, &out)
+		if err != nil {
+			failed++ // rare: a component failed evidently on both releases
+			continue
+		}
+		want := 100 + 25*bags + 80*nights + 30
+		if out.Total != want {
+			// A non-evident failure slipped through adjudication — the
+			// §5.2 exposure the paper quantifies.
+			failed++
+			continue
+		}
+		booked++
+		if done := bothSwitched(fl); done && i >= 300 {
+			break
+		}
+	}
+	fmt.Printf("travel-agency: %d trips booked, %d demands failed\n", booked, failed)
+
+	for _, st := range fl.Status() {
+		conf := 0.0
+		if st.Confidence != nil {
+			conf = *st.Confidence
+		}
+		fmt.Printf("fleet: unit %-8s phase=%-11s switchedAt=%-5d confidence=%.3f releases=%d\n",
+			st.Unit, st.Phase, st.SwitchedAt, conf, len(st.Releases))
+	}
+
+	// --- A new hotels release appears in the registry -----------------------
+	// The §7.2 notification fans into the fleet and deploys it online on
+	// exactly the hotels unit. The unit was resting in NewOnly, so the
+	// fan-in restarts the campaign in Observation: the proven release
+	// keeps delivering while 1.2 is observed — never served unvetted.
+	newHotel, err := wsupgrade.NewRelease(service.DemoContract("1.2"), service.DemoBehaviours(),
+		wsupgrade.FaultPlan{Profile: relmodel.Profile{CR: 0.999, ER: 0.001}, Seed: 99})
+	if err != nil {
+		return err
+	}
+	newHotelURL, stopNewHotel, err := serve(newHotel.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopNewHotel()
+	if err := regClient.Publish(ctx, registry.Entry{
+		Name: "hotels", Version: "1.2", URL: newHotelURL,
+	}); err != nil {
+		return err
+	}
+	hotelsUnit, err := fl.Unit("hotels")
+	if err != nil {
+		return err
+	}
+	rels := hotelsUnit.Engine().Releases()
+	fmt.Printf("registry: published hotels 1.2 — unit now deploys %d releases (newest %s), phase %v\n",
+		len(rels), rels[len(rels)-1].Version, hotelsUnit.Engine().Phase())
+	return nil
+}
+
+func bothSwitched(fl *fleet.Fleet) bool {
+	for _, u := range fl.Units() {
+		if u.Engine().Phase() != wsupgrade.PhaseNewOnly {
+			return false
+		}
+	}
+	return true
+}

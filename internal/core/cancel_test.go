@@ -1,0 +1,201 @@
+package core
+
+// Regression tests for the request-context dispatch deadline: dispatch
+// used to bound release calls with context.WithTimeout(context.Background(), …)
+// so a disconnected client never cancelled an in-flight fan-out — it
+// kept burning release capacity until the full engine timeout.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/lifecycle"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/soap"
+)
+
+// A consumer that hangs up mid-dispatch cancels the in-flight release
+// calls promptly — the engine must not hold them to its own (much
+// longer) timeout — and the aborted exchange is not charged to the
+// releases' monitoring record.
+func TestConsumerCancelAbortsDispatch(t *testing.T) {
+	inCall := make(chan struct{}, 2)
+	released := make(chan struct{})
+	defer close(released)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only notices a client abort
+		// while reading, exactly like a real release runtime would.
+		_, _ = io.Copy(io.Discard, r.Body)
+		inCall <- struct{}{}
+		select {
+		case <-r.Context().Done(): // the cancellation we are testing for
+		case <-released: // test teardown safety valve
+		}
+	}))
+	defer backend.Close()
+
+	e, err := New(Config{
+		Releases: []Endpoint{
+			{Version: "1.0", URL: backend.URL},
+			{Version: "1.1", URL: backend.URL},
+		},
+		Oracle:  oracle.Header{},
+		Timeout: time.Hour, // the engine timeout must NOT be what ends this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	env := soap.EnvelopeRaw([]byte(`<addRequest><a>1</a><b>2</b></addRequest>`))
+	req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(env)).WithContext(ctx)
+	req.Header.Set("Content-Type", soap.ContentType)
+
+	go func() {
+		// Cancel once both releases are mid-call.
+		<-inCall
+		<-inCall
+		cancel()
+	}()
+
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	e.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+
+	if elapsed > 30*time.Second {
+		t.Fatalf("dispatch outlived its consumer by %v", elapsed)
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("cancelled request delivered HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	// The consumer abort is not release behaviour: nothing recorded.
+	for _, v := range []string{"1.0", "1.1"} {
+		if s, err := e.Stats(v); err == nil && s.Demands != 0 {
+			t.Fatalf("consumer abort charged to release %s: %+v", v, s)
+		}
+	}
+}
+
+// The same fast-path single-target dispatch also honours the consumer's
+// context.
+func TestConsumerCancelAbortsFastPath(t *testing.T) {
+	inCall := make(chan struct{}, 1)
+	released := make(chan struct{})
+	defer close(released)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		inCall <- struct{}{}
+		select {
+		case <-r.Context().Done():
+		case <-released:
+		}
+	}))
+	defer backend.Close()
+
+	e, err := New(Config{
+		Releases:     []Endpoint{{Version: "1.0", URL: backend.URL}},
+		InitialPhase: PhaseOldOnly,
+		Timeout:      time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	env := soap.EnvelopeRaw([]byte(`<addRequest><a>1</a><b>2</b></addRequest>`))
+	req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(env)).WithContext(ctx)
+	req.Header.Set("Content-Type", soap.ContentType)
+	go func() {
+		<-inCall
+		cancel()
+	}()
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	e.ServeHTTP(rec, req)
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("fast path outlived its consumer")
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("cancelled request delivered HTTP %d", rec.Code)
+	}
+}
+
+// An engine-timeout abort, by contrast, IS release behaviour: the
+// non-responding release must be charged a missed demand.
+func TestEngineTimeoutStillRecorded(t *testing.T) {
+	released := make(chan struct{})
+	defer close(released)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-released:
+		}
+	}))
+	defer backend.Close()
+
+	e, err := New(Config{
+		Releases:     []Endpoint{{Version: "1.0", URL: backend.URL}},
+		InitialPhase: PhaseOldOnly,
+		Timeout:      50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	env := soap.EnvelopeRaw([]byte(`<addRequest><a>1</a><b>2</b></addRequest>`))
+	req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(env))
+	req.Header.Set("Content-Type", soap.ContentType)
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("timed-out request delivered HTTP %d", rec.Code)
+	}
+	s, err := e.Stats("1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Demands != 1 || s.Responses != 0 {
+		t.Fatalf("timeout not charged: %+v", s)
+	}
+}
+
+// OnTransition hooks observe manual, policy and topology transitions.
+func TestOnTransitionHooks(t *testing.T) {
+	_, old := startRelease(t, "1.0", service.FaultPlan{})
+	e, err := New(Config{Releases: []Endpoint{old}, InitialPhase: PhaseOldOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	events := make(chan string, 4)
+	e.OnTransition(func(tr lifecycle.Transition) {
+		events <- tr.From.String() + ">" + tr.To.String() + ":" + tr.Cause.String()
+	})
+	if err := e.AddRelease(Endpoint{Version: "1.1", URL: "http://b.invalid"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetPhase(PhaseParallel); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-events; got != "old-only>parallel:manual" {
+		t.Fatalf("manual transition event = %q", got)
+	}
+	// Topology-forced: removing below two releases collapses to NewOnly.
+	if err := e.RemoveRelease("1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-events; got != "parallel>new-only:topology" {
+		t.Fatalf("topology transition event = %q", got)
+	}
+}

@@ -20,15 +20,25 @@
 //     and advance the upgrade lifecycle when the new release has earned
 //     enough confidence.
 //
-// The lifecycle phases follow §3.3/§4.2: OldOnly (new release deployed
-// but unused) → Observation (both run back-to-back, the old release's
-// response is delivered) → Parallel (adjudicated 1-out-of-2 delivery) →
-// NewOnly (switched). Releases can be added and removed online.
+// The engine is a thin composition of the middleware's layers:
 //
-// The engine also implements the §6.2 confidence-publishing mechanisms:
-// a dedicated OperationConf operation, backward-compatible "<op>Conf"
-// variants, and per-response confidence headers, plus registry
-// publication helpers.
+//   - internal/dispatch owns the fan-out mechanics — deadlines derived
+//     from the consumer's request context via pooled timers, fan-out
+//     goroutines, reply pooling, the single-target fast path, and the
+//     §4.2 operating modes;
+//   - internal/lifecycle owns the §4.1 phase machine — transition
+//     guards, hooks, and the Bayesian switch policy;
+//   - internal/monitor and internal/bayes own observation and inference.
+//
+// What remains here is the composition itself: phase-aware target
+// selection and delivery authority, health marks, the monitoring sink,
+// the §6.2 confidence-publishing mechanisms (a dedicated OperationConf
+// operation, backward-compatible "<op>Conf" variants, per-response
+// confidence headers), and registry publication helpers. The lifecycle
+// phases follow §3.3/§4.2: OldOnly (new release deployed but unused) →
+// Observation (both run back-to-back, the old release's response is
+// delivered) → Parallel (adjudicated 1-out-of-2 delivery) → NewOnly
+// (switched). Releases can be added and removed online.
 package core
 
 import (
@@ -45,22 +55,25 @@ import (
 
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/dispatch"
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/registry"
 	"wsupgrade/internal/soap"
 	"wsupgrade/internal/stats"
 	"wsupgrade/internal/wsdl"
-	"wsupgrade/internal/xrand"
 )
 
 // Errors reported by the engine.
 var (
 	// ErrBadConfig reports an invalid engine configuration.
 	ErrBadConfig = errors.New("core: bad configuration")
-	// ErrBadPhase reports an impossible phase transition.
-	ErrBadPhase = errors.New("core: bad phase")
+	// ErrBadPhase reports an impossible phase value or transition. It is
+	// the lifecycle layer's sentinel: illegal §4.1 transitions returned
+	// by SetPhase match both this and lifecycle.ErrIllegalTransition.
+	ErrBadPhase = lifecycle.ErrBadPhase
 	// ErrUnknownRelease reports an operation on an undeployed release.
 	ErrUnknownRelease = errors.New("core: unknown release")
 	// ErrNoInference reports a confidence query on an engine built
@@ -69,93 +82,35 @@ var (
 )
 
 // Endpoint identifies one deployed release of the upgraded service.
-type Endpoint struct {
-	// Version is the release's version string (releases must be
-	// distinguishable, §3.2).
-	Version string
-	// URL is the release's SOAP endpoint.
-	URL string
-}
+type Endpoint = dispatch.Endpoint
 
-// Phase is the upgrade lifecycle state (§3.3, §4.2).
-type Phase int
+// Phase is the upgrade lifecycle state (§3.3, §4.2); see
+// internal/lifecycle for the transition rules.
+type Phase = lifecycle.Phase
 
+// Lifecycle phases.
 const (
-	// PhaseOldOnly: only the oldest release serves; newer releases are
-	// deployed but not invoked.
-	PhaseOldOnly Phase = iota + 1
-	// PhaseObservation: all releases are invoked back-to-back; the old
-	// release's response is delivered (§3.1's transitional period).
-	PhaseObservation
-	// PhaseParallel: all releases are invoked and the adjudicated
-	// response is delivered (1-out-of-2 fault tolerance, §4.2 mode 1).
-	PhaseParallel
-	// PhaseNewOnly: only the newest release is invoked — the switch has
-	// happened.
-	PhaseNewOnly
+	PhaseOldOnly     = lifecycle.PhaseOldOnly
+	PhaseObservation = lifecycle.PhaseObservation
+	PhaseParallel    = lifecycle.PhaseParallel
+	PhaseNewOnly     = lifecycle.PhaseNewOnly
 )
-
-// String implements fmt.Stringer.
-func (p Phase) String() string {
-	switch p {
-	case PhaseOldOnly:
-		return "old-only"
-	case PhaseObservation:
-		return "observation"
-	case PhaseParallel:
-		return "parallel"
-	case PhaseNewOnly:
-		return "new-only"
-	default:
-		return fmt.Sprintf("Phase(%d)", int(p))
-	}
-}
 
 // Mode is the fan-out strategy while several releases are invoked (§4.2).
-type Mode int
+type Mode = dispatch.Mode
 
+// Operating modes.
 const (
-	// ModeReliability waits for all releases (bounded by Timeout) and
-	// adjudicates everything collected — §4.2 mode 1.
-	ModeReliability Mode = iota + 1
-	// ModeResponsiveness delivers the first valid response — mode 2.
-	ModeResponsiveness
-	// ModeDynamic delivers after Quorum responses arrive — mode 3.
-	ModeDynamic
-	// ModeSequential invokes releases one at a time, moving on only
-	// after an evident failure — mode 4.
-	ModeSequential
+	ModeReliability    = dispatch.ModeReliability
+	ModeResponsiveness = dispatch.ModeResponsiveness
+	ModeDynamic        = dispatch.ModeDynamic
+	ModeSequential     = dispatch.ModeSequential
 )
-
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case ModeReliability:
-		return "parallel-reliability"
-	case ModeResponsiveness:
-		return "parallel-responsiveness"
-	case ModeDynamic:
-		return "parallel-dynamic"
-	case ModeSequential:
-		return "sequential"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
 
 // PolicyConfig is the management subsystem's automatic switch rule
 // (§5.1.1.2): when Criterion is satisfied on the posterior, the engine
 // advances to PhaseNewOnly.
-type PolicyConfig struct {
-	// Criterion decides the switch.
-	Criterion bayes.Criterion
-	// CheckEvery evaluates the criterion every N joint observations
-	// (default 50).
-	CheckEvery int
-	// MinDemands suppresses switching before this many joint
-	// observations (default CheckEvery).
-	MinDemands int
-}
+type PolicyConfig = lifecycle.SwitchPolicy
 
 // Config parameterizes the engine.
 type Config struct {
@@ -226,6 +181,9 @@ type engineState struct {
 	quorum     int
 	timeout    time.Duration
 	switchedAt int // joint demands when auto-switch fired; 0 = not yet
+	// deliver is the phase-appropriate delivery rule, precomputed at
+	// publication so the hot path never re-boxes an adjudicator.
+	deliver adjudicate.Adjudicator
 }
 
 // clone returns a deep copy safe to mutate before publication.
@@ -245,6 +203,19 @@ func (s *engineState) clone() *engineState {
 	return &c
 }
 
+// deliveryRule selects the phase-appropriate delivery authority (§3.1:
+// the old release remains authoritative until the switch).
+func deliveryRule(phase Phase, oldest, newest Endpoint, adj adjudicate.Adjudicator) adjudicate.Adjudicator {
+	switch phase {
+	case PhaseOldOnly, PhaseObservation:
+		return adjudicate.Preferred{Release: oldest.Version, Fallback: adj}
+	case PhaseNewOnly:
+		return adjudicate.Preferred{Release: newest.Version, Fallback: adj}
+	default:
+		return adj
+	}
+}
+
 // Engine is the managed-upgrade middleware. It implements http.Handler
 // (the SOAP endpoint); Handler() adds /wsdl and /healthz.
 // Construct with New; call Close to drain background monitoring work.
@@ -258,6 +229,7 @@ type Engine struct {
 	oracle     oracle.Oracle
 	mon        *monitor.Monitor
 	inference  *bayes.WhiteBox
+	disp       *dispatch.Dispatcher
 
 	// contractOps is the set of operation names in cfg.Contract (nil
 	// when no contract is configured). It guards §6.2 "<op>Conf" variant
@@ -268,12 +240,8 @@ type Engine struct {
 	state atomic.Pointer[engineState]
 	mu    sync.Mutex // serializes state writers (copy-on-write publishers)
 
-	// Adjudication tie-breaking draws from a pool of deterministic
-	// generators: one atomic-free Get per request instead of an
-	// engine-wide lock. rngMaster only seeds new pool members.
-	rngMu     sync.Mutex
-	rngMaster *xrand.Rand
-	rngPool   sync.Pool
+	// hooks observe lifecycle transitions (fleet aggregation, logging).
+	hooks lifecycle.Hooks
 
 	policyMu sync.Mutex // serializes posterior evaluation
 
@@ -281,8 +249,6 @@ type Engine struct {
 	// every periodic probe round. Tests use it to synchronize on prober
 	// progress without sleeping.
 	healthCheckDone func()
-
-	wg sync.WaitGroup
 }
 
 var _ http.Handler = (*Engine)(nil)
@@ -311,22 +277,22 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeReliability
 	}
-	switch cfg.Mode {
-	case ModeReliability, ModeResponsiveness, ModeSequential:
-	case ModeDynamic:
+	switch {
+	case cfg.Mode == ModeDynamic:
 		if cfg.Quorum == 0 {
 			cfg.Quorum = 1
 		}
 		if cfg.Quorum < 1 || cfg.Quorum > len(cfg.Releases) {
 			return nil, fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, cfg.Quorum, len(cfg.Releases))
 		}
+	case cfg.Mode.Known():
 	default:
 		return nil, fmt.Errorf("%w: mode %v", ErrBadConfig, cfg.Mode)
 	}
 	if cfg.InitialPhase == 0 {
 		cfg.InitialPhase = PhaseParallel
 	}
-	if err := validatePhase(cfg.InitialPhase, len(cfg.Releases)); err != nil {
+	if err := lifecycle.Validate(cfg.InitialPhase, len(cfg.Releases)); err != nil {
 		return nil, err
 	}
 	if cfg.Adjudicator == nil {
@@ -348,17 +314,8 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if cfg.Policy != nil {
-		if cfg.Policy.Criterion == nil {
-			return nil, fmt.Errorf("%w: policy without criterion", ErrBadConfig)
-		}
-		if cfg.Policy.CheckEvery == 0 {
-			cfg.Policy.CheckEvery = 50
-		}
-		if cfg.Policy.CheckEvery < 1 {
-			return nil, fmt.Errorf("%w: policy check interval %d", ErrBadConfig, cfg.Policy.CheckEvery)
-		}
-		if cfg.Policy.MinDemands == 0 {
-			cfg.Policy.MinDemands = cfg.Policy.CheckEvery
+		if err := cfg.Policy.Normalize(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		if cfg.Inference == nil {
 			return nil, fmt.Errorf("%w: policy requires an inference configuration", ErrBadConfig)
@@ -366,17 +323,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:       cfg,
-		adjudic:   cfg.Adjudicator,
-		oracle:    cfg.Oracle,
-		rngMaster: xrand.New(cfg.Seed),
+		cfg:     cfg,
+		adjudic: cfg.Adjudicator,
+		oracle:  cfg.Oracle,
 	}
+	releases := append([]Endpoint(nil), cfg.Releases...)
 	e.state.Store(&engineState{
-		releases: append([]Endpoint(nil), cfg.Releases...),
+		releases: releases,
 		phase:    cfg.InitialPhase,
 		mode:     cfg.Mode,
 		quorum:   cfg.Quorum,
 		timeout:  cfg.Timeout,
+		deliver:  deliveryRule(cfg.InitialPhase, releases[0], releases[len(releases)-1], cfg.Adjudicator),
 	})
 	if cfg.HTTP != nil {
 		e.client = cfg.HTTP
@@ -387,6 +345,12 @@ func New(cfg Config) (*Engine, error) {
 		e.client = httpx.NewPooledClient(cfg.Timeout+500*time.Millisecond, len(cfg.Releases))
 		e.ownsClient = true
 	}
+	e.disp = dispatch.New(dispatch.Config{
+		Client:    e.client,
+		Retry:     cfg.Retry,
+		Seed:      cfg.Seed,
+		OnOutcome: e.recordOutcome,
+	})
 	if cfg.Contract != nil {
 		e.contractOps = make(map[string]bool, len(cfg.Contract.Operations))
 		for _, op := range cfg.Contract.Operations {
@@ -412,46 +376,53 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-func validatePhase(p Phase, releases int) error {
-	switch p {
-	case PhaseOldOnly, PhaseNewOnly:
-		return nil
-	case PhaseObservation, PhaseParallel:
-		if releases < 2 {
-			return fmt.Errorf("%w: %v needs at least two releases", ErrBadPhase, p)
-		}
-		return nil
-	default:
-		return fmt.Errorf("%w: %v", ErrBadPhase, p)
-	}
-}
-
 // Close waits for background monitoring work to finish (bounded by the
 // call timeout) and shuts down the engine-owned transport's keep-alive
 // connections (up to 32 per release host would otherwise linger for the
 // 90 s idle timeout). The engine must not serve new requests afterwards.
 func (e *Engine) Close() error {
-	e.wg.Wait()
+	err := e.disp.Close()
 	if e.ownsClient {
 		e.client.CloseIdleConnections()
 	}
-	return nil
+	return err
 }
 
 // Monitor exposes the monitoring subsystem.
 func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
 
+// OnTransition registers an observer of lifecycle transitions (manual,
+// policy-driven, and topology-forced alike). Hooks fire after the
+// transition has been published, outside the engine's write lock; they
+// must not block and must not call the engine's own mutators.
+func (e *Engine) OnTransition(fn func(lifecycle.Transition)) {
+	e.hooks.Add(fn)
+}
+
 // updateState publishes a successor state built by mutate, serialized
 // against every other writer. mutate receives a private clone; returning
-// an error discards it without publication.
-func (e *Engine) updateState(mutate func(*engineState) error) error {
+// an error discards it without publication. A phase change fires the
+// transition hooks after publication.
+func (e *Engine) updateState(cause lifecycle.Cause, mutate func(*engineState) error) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	next := e.state.Load().clone()
+	cur := e.state.Load()
+	next := cur.clone()
 	if err := mutate(next); err != nil {
+		e.mu.Unlock()
 		return err
 	}
+	next.deliver = deliveryRule(next.phase, next.releases[0],
+		next.releases[len(next.releases)-1], e.adjudic)
 	e.state.Store(next)
+	from, to := cur.phase, next.phase
+	demands := 0
+	if cause == lifecycle.CausePolicy {
+		demands = next.switchedAt
+	}
+	e.mu.Unlock()
+	if from != to {
+		e.hooks.Fire(lifecycle.Transition{From: from, To: to, Cause: cause, Demands: demands})
+	}
 	return nil
 }
 
@@ -460,10 +431,17 @@ func (e *Engine) Phase() Phase {
 	return e.state.Load().phase
 }
 
-// SetPhase transitions the lifecycle manually.
+// SetPhase transitions the lifecycle manually. The transition is
+// validated against the §4.1 rules (lifecycle.DefaultRules: forward
+// movement with skips, abort to OldOnly, restart out of NewOnly) and
+// the deployed release count; an illegal transition is rejected with an
+// error matching both ErrBadPhase and lifecycle.ErrIllegalTransition.
 func (e *Engine) SetPhase(p Phase) error {
-	return e.updateState(func(s *engineState) error {
-		if err := validatePhase(p, len(s.releases)); err != nil {
+	return e.updateState(lifecycle.CauseManual, func(s *engineState) error {
+		if err := lifecycle.DefaultRules.CanTransition(s.phase, p); err != nil {
+			return err
+		}
+		if err := lifecycle.Validate(p, len(s.releases)); err != nil {
 			return err
 		}
 		s.phase = p
@@ -488,7 +466,7 @@ func (e *Engine) AddRelease(ep Endpoint) error {
 	if ep.Version == "" || ep.URL == "" {
 		return fmt.Errorf("%w: release needs version and URL", ErrBadConfig)
 	}
-	return e.updateState(func(s *engineState) error {
+	return e.updateState(lifecycle.CauseTopology, func(s *engineState) error {
 		for _, r := range s.releases {
 			if r.Version == ep.Version {
 				return fmt.Errorf("%w: duplicate release %q", ErrBadConfig, ep.Version)
@@ -502,7 +480,7 @@ func (e *Engine) AddRelease(ep Endpoint) error {
 // RemoveRelease phases a release out online. The last release cannot be
 // removed, and removing below two releases forces PhaseNewOnly.
 func (e *Engine) RemoveRelease(version string) error {
-	return e.updateState(func(s *engineState) error {
+	return e.updateState(lifecycle.CauseTopology, func(s *engineState) error {
 		idx := -1
 		for i, r := range s.releases {
 			if r.Version == version {
@@ -531,12 +509,6 @@ func (e *Engine) snapshot() ([]Endpoint, Phase) {
 	return s.releases, s.phase
 }
 
-// dispatchState atomically reads everything one fan-out needs: a single
-// atomic load, no lock, no copying — the hot path's whole read side.
-func (e *Engine) dispatchState() *engineState {
-	return e.state.Load()
-}
-
 // Mode returns the current fan-out mode.
 func (e *Engine) Mode() Mode {
 	return e.state.Load().mode
@@ -546,16 +518,16 @@ func (e *Engine) Mode() Mode {
 // responses and the timeout can be changed dynamically". quorum applies
 // to ModeDynamic and is ignored otherwise.
 func (e *Engine) SetMode(mode Mode, quorum int) error {
-	return e.updateState(func(s *engineState) error {
-		switch mode {
-		case ModeReliability, ModeResponsiveness, ModeSequential:
-		case ModeDynamic:
+	return e.updateState(lifecycle.CauseManual, func(s *engineState) error {
+		switch {
+		case mode == ModeDynamic:
 			if quorum == 0 {
 				quorum = 1
 			}
 			if quorum < 1 || quorum > len(s.releases) {
 				return fmt.Errorf("%w: quorum %d with %d releases", ErrBadConfig, quorum, len(s.releases))
 			}
+		case mode.Known():
 		default:
 			return fmt.Errorf("%w: mode %v", ErrBadConfig, mode)
 		}
@@ -577,31 +549,11 @@ func (e *Engine) SetTimeout(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("%w: timeout %v", ErrBadConfig, d)
 	}
-	return e.updateState(func(s *engineState) error {
+	return e.updateState(lifecycle.CauseManual, func(s *engineState) error {
 		s.timeout = d
 		return nil
 	})
 }
-
-// ---------------------------------------------------------------------------
-// Adjudication tie-breaking randomness
-
-// getRNG hands one generator to a request. Generators are pooled; a
-// fresh one is split off the seeded master only when the pool is empty.
-// Every stream derives deterministically from Config.Seed, but the
-// assignment of streams to requests depends on scheduling and on GC
-// (sync.Pool may drop members), so individual tie-breaks are not
-// replayable across runs — only statistically reproducible.
-func (e *Engine) getRNG() *xrand.Rand {
-	if r, ok := e.rngPool.Get().(*xrand.Rand); ok {
-		return r
-	}
-	e.rngMu.Lock()
-	defer e.rngMu.Unlock()
-	return e.rngMaster.Split()
-}
-
-func (e *Engine) putRNG(r *xrand.Rand) { e.rngPool.Put(r) }
 
 // ---------------------------------------------------------------------------
 // Health checking and recovery (§4.1's management subsystem)
@@ -631,7 +583,7 @@ func (e *Engine) CheckHealth(ctx context.Context) []Health {
 	}
 	wg.Wait()
 
-	_ = e.updateState(func(s *engineState) error {
+	_ = e.updateState(lifecycle.CauseTopology, func(s *engineState) error {
 		for _, h := range results {
 			if h.Up {
 				delete(s.down, h.Release)
@@ -859,27 +811,37 @@ func (e *Engine) confVariantBase(operation string) (string, bool) {
 	return base, true
 }
 
-// requestAdjudicator honours the consumer's per-request adjudicator
-// choice, falling back to the engine default.
-func requestAdjudicator(r *http.Request, fallback adjudicate.Adjudicator) adjudicate.Adjudicator {
+// headerAdjudicator returns the consumer's explicit per-request
+// adjudicator choice, if any.
+func headerAdjudicator(r *http.Request) (adjudicate.Adjudicator, bool) {
 	if r == nil {
-		return fallback
+		return nil, false
 	}
 	switch r.Header.Get(AdjudicatorHeader) {
 	case "random-valid":
-		return adjudicate.RandomValid{}
+		return adjudicate.RandomValid{}, true
 	case "majority":
-		return adjudicate.Majority{}
+		return adjudicate.Majority{}, true
 	case "fastest-valid":
-		return adjudicate.FastestValid{}
+		return adjudicate.FastestValid{}, true
 	default:
-		return fallback
+		return nil, false
 	}
+}
+
+// requestAdjudicator honours the consumer's per-request adjudicator
+// choice, falling back to the engine default.
+func requestAdjudicator(r *http.Request, fallback adjudicate.Adjudicator) adjudicate.Adjudicator {
+	if adj, ok := headerAdjudicator(r); ok {
+		return adj
+	}
+	return fallback
 }
 
 // proxy is the main interception path.
 func (e *Engine) proxy(w http.ResponseWriter, r *http.Request, envelope []byte, operation string) {
-	winner, adjErr := e.dispatch(r.Context(), envelope, operation, requestAdjudicator(r, e.adjudic))
+	override, _ := headerAdjudicator(r)
+	winner, adjErr := e.dispatch(r.Context(), envelope, operation, override)
 	e.respond(w, operation, winner, adjErr)
 }
 
@@ -918,23 +880,23 @@ func (e *Engine) writeFault(w http.ResponseWriter, f *soap.Fault, operation stri
 	_, _ = w.Write(soap.FaultEnvelope(f))
 }
 
-// dispatch fans the request out per the current phase and mode, returns
-// the delivered reply (or adjudication error), and hands monitoring and
-// policy work to the background when delivery should not wait for it.
-func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string, adj adjudicate.Adjudicator) (adjudicate.Reply, error) {
-	if adj == nil {
-		adj = e.adjudic
-	}
-	st := e.dispatchState()
-	releases, phase, mode, quorum, timeout := st.releases, st.phase, st.mode, st.quorum, st.timeout
+// dispatch selects the phase's targets and delivery authority and hands
+// the fan-out to the dispatch layer. The dispatch deadline derives from
+// the consumer's request context: a disconnected client cancels its
+// in-flight fan-out (and the aborted outcome is not charged to the
+// releases), while early-delivery modes detach after responding so
+// monitoring still collects every release's behaviour.
+func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string, override adjudicate.Adjudicator) (adjudicate.Reply, error) {
+	st := e.state.Load()
+	releases := st.releases
 	oldest, newest := releases[0], releases[len(releases)-1]
 
 	var targets []Endpoint
-	switch phase {
+	switch st.phase {
 	case PhaseOldOnly:
-		targets = []Endpoint{oldest}
+		targets = releases[:1:1]
 	case PhaseNewOnly:
-		targets = []Endpoint{newest}
+		targets = releases[len(releases)-1:]
 	default:
 		targets = releases
 	}
@@ -953,269 +915,46 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 		}
 	}
 
-	deliverFrom := func(collected []adjudicate.Reply) (adjudicate.Reply, error) {
-		rule := e.deliveryAdjudicator(phase, oldest, newest, adj)
-		rng := e.getRNG()
-		defer e.putRNG(rng)
-		return rule.Adjudicate(collected, rng)
+	rule := st.deliver
+	if override != nil {
+		rule = deliveryRule(st.phase, oldest, newest, override)
 	}
-
-	// Release calls are bounded by the engine timeout rather than the
-	// consumer's request context: when a mode delivers early, the
-	// remaining responses are still collected for the monitoring
-	// subsystem after the consumer has gone.
-	_ = ctx
-	callCtx, cancel := context.WithTimeout(context.Background(), timeout)
-
-	// Single-target fast path (PhaseOldOnly, PhaseNewOnly, or every
-	// other target marked down): one synchronous call, no goroutine, no
-	// channel, no fan-out bookkeeping.
-	if len(targets) == 1 {
-		defer cancel()
-		replies := getReplySlice(1)
-		replies[0] = e.callRelease(callCtx, targets[0], operation, envelope)
-		collected := replies[:0]
-		if responded(replies[0]) {
-			collected = replies[:1]
-		}
-		winner, adjErr := deliverFrom(collected)
-		e.record(operation, targets, replies, winner, oldest, newest)
-		putReplySlice(replies)
-		return winner, adjErr
-	}
-
-	if mode == ModeSequential && phase != PhaseOldOnly && phase != PhaseNewOnly {
-		defer cancel()
-		return e.dispatchSequential(callCtx, targets, envelope, operation, deliverFrom)
-	}
-
-	type indexed struct {
-		i int
-		r adjudicate.Reply
-	}
-	ch := make(chan indexed, len(targets))
-	for i, t := range targets {
-		i, t := i, t
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			ch <- indexed{i, e.callRelease(callCtx, t, operation, envelope)}
-		}()
-	}
-
-	replies := getReplySlice(len(targets))
-	received := 0
-	collectOne := func() {
-		in := <-ch
-		replies[in.i] = in.r
-		received++
-	}
-
-	// How many replies must arrive before delivery.
-	need := len(targets)
-	switch mode {
-	case ModeDynamic:
-		if quorum < need {
-			need = quorum
-		}
-	case ModeResponsiveness:
-		need = 1
-	}
-
-	for received < need {
-		collectOne()
-	}
-	if mode == ModeResponsiveness {
-		// Keep collecting until a valid reply arrives or all are in.
-		for !anyValid(replies) && received < len(targets) {
-			collectOne()
-		}
-	}
-
-	// Only actual responses are adjudicated: a SOAP fault is a collected
-	// (evidently incorrect) response, while a timeout or transport error
-	// means nothing was collected from that release (§5.2.1).
-	collected := getReplySlice(received)[:0]
-	for _, r := range replies {
-		if r.Release != "" && responded(r) {
-			collected = append(collected, r)
-		}
-	}
-	winner, adjErr := deliverFrom(collected)
-	putReplySlice(collected)
-
-	if received == len(targets) {
-		cancel()
-		e.record(operation, targets, replies, winner, oldest, newest)
-		putReplySlice(replies)
-		return winner, adjErr
-	}
-	// Delivery happened early; finish collecting in the background so
-	// the monitoring subsystem still sees every release's behaviour.
-	// Collection is bounded by the call timeout, so Close never waits
-	// longer than that.
-	remaining := len(targets) - received
-	partial := replies
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		defer cancel()
-		for i := 0; i < remaining; i++ {
-			in := <-ch
-			partial[in.i] = in.r
-		}
-		e.record(operation, targets, partial, winner, oldest, newest)
-		putReplySlice(partial)
-	}()
-	return winner, adjErr
+	return e.disp.Do(dispatch.Request{
+		Parent:    ctx,
+		Targets:   targets,
+		Mode:      st.mode,
+		Quorum:    st.quorum,
+		Timeout:   st.timeout,
+		Operation: operation,
+		Envelope:  envelope,
+		Deliver:   rule,
+		Oldest:    oldest,
+		Newest:    newest,
+	})
 }
 
-// ---------------------------------------------------------------------------
-// Per-dispatch reply slice recycling
-
-// replySlices recycles the reply scratch slices of dispatch. Fan-outs
-// are small (a handful of releases), so the slices are tiny but
-// allocated twice per consumer request; pooling removes them from the
-// hot path. A slice must only be returned once nothing aliases it: the
-// winner is a value copy, adjudicators must not retain replies, and
-// record builds its own observation slice.
-var replySlices = sync.Pool{New: func() interface{} { return new([]adjudicate.Reply) }}
-
-func getReplySlice(n int) []adjudicate.Reply {
-	p := replySlices.Get().(*[]adjudicate.Reply)
-	if cap(*p) >= n {
-		return (*p)[:n]
+// recordOutcome feeds the monitoring subsystem and evaluates the switch
+// policy. It is the dispatcher's outcome hook and may run on a
+// background collector after delivery. A fan-out aborted by its own
+// consumer is not release behaviour and is not recorded.
+func (e *Engine) recordOutcome(out dispatch.Outcome) {
+	if out.ConsumerGone {
+		return
 	}
-	if n < 8 {
-		return make([]adjudicate.Reply, n, 8)
-	}
-	return make([]adjudicate.Reply, n)
-}
-
-func putReplySlice(s []adjudicate.Reply) {
-	s = s[:cap(s)]
-	for i := range s {
-		s[i] = adjudicate.Reply{} // drop body/header references
-	}
-	replySlices.Put(&s)
-}
-
-// responded reports whether an exchange produced an application-level
-// response (a SOAP fault counts; a timeout or transport error does not).
-func responded(r adjudicate.Reply) bool {
-	return r.Valid() || isFault(r.Err)
-}
-
-func anyValid(replies []adjudicate.Reply) bool {
-	for _, r := range replies {
-		if r.Release != "" && r.Valid() {
-			return true
-		}
-	}
-	return false
-}
-
-// dispatchSequential implements §4.2 mode 4: releases execute one at a
-// time; the next is invoked only on an evident failure of the previous.
-func (e *Engine) dispatchSequential(ctx context.Context, targets []Endpoint, envelope []byte,
-	operation string, deliver func([]adjudicate.Reply) (adjudicate.Reply, error)) (adjudicate.Reply, error) {
-	called := getReplySlice(len(targets))[:0]
-	calledEps := make([]Endpoint, 0, len(targets))
-	for _, t := range targets {
-		r := e.callRelease(ctx, t, operation, envelope)
-		called = append(called, r)
-		calledEps = append(calledEps, t)
-		if r.Valid() {
-			break
-		}
-	}
-	collected := getReplySlice(len(called))[:0]
-	for _, r := range called {
-		if responded(r) {
-			collected = append(collected, r)
-		}
-	}
-	winner, err := deliver(collected)
-	putReplySlice(collected)
-	oldest, newest := targets[0], targets[len(targets)-1]
-	e.record(operation, calledEps, called, winner, oldest, newest)
-	putReplySlice(called)
-	return winner, err
-}
-
-// deliveryAdjudicator selects the phase-appropriate delivery rule.
-func (e *Engine) deliveryAdjudicator(phase Phase, oldest, newest Endpoint, adj adjudicate.Adjudicator) adjudicate.Adjudicator {
-	switch phase {
-	case PhaseOldOnly:
-		return adjudicate.Preferred{Release: oldest.Version, Fallback: adj}
-	case PhaseObservation:
-		// §3.1: the old release remains authoritative during the
-		// transitional period; its response is delivered while the new
-		// release is only observed.
-		return adjudicate.Preferred{Release: oldest.Version, Fallback: adj}
-	case PhaseNewOnly:
-		return adjudicate.Preferred{Release: newest.Version, Fallback: adj}
-	default:
-		return adj
-	}
-}
-
-// callRelease invokes one release and classifies the outcome. A 200
-// response's body is extracted with the zero-copy sniffer; the full
-// parse runs only for unusual envelopes and for fault decoding (the
-// SOAP 1.1 binding carries faults on HTTP 500).
-func (e *Engine) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
-	start := time.Now()
-	reply := adjudicate.Reply{Release: ep.Version}
-	res, err := httpx.PostXML(ctx, e.client, ep.URL, soap.ContentType, envelope, e.cfg.Retry)
-	reply.Latency = time.Since(start)
-	if err != nil {
-		reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, err)
-		return reply
-	}
-	reply.Header = res.Header
-	switch res.Status {
-	case http.StatusOK:
-		if inner, _, ok := soap.SniffBody(res.Body); ok {
-			reply.Body = inner
-			return reply
-		}
-		parsed, perr := soap.Parse(res.Body)
-		if perr != nil {
-			reply.Err = fmt.Errorf("core: release %s: %w", ep.Version, perr)
-			return reply
-		}
-		reply.Body = parsed.BodyXML
-	case http.StatusInternalServerError:
-		parsed, perr := soap.Parse(res.Body)
-		if perr == nil && parsed.Fault != nil {
-			reply.Err = parsed.Fault
-			return reply
-		}
-		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
-	default:
-		reply.Err = fmt.Errorf("core: release %s: HTTP %d", ep.Version, res.Status)
-	}
-	return reply
-}
-
-// record feeds the monitoring subsystem and evaluates the switch policy.
-func (e *Engine) record(operation string, targets []Endpoint, replies []adjudicate.Reply,
-	winner adjudicate.Reply, oldest, newest Endpoint) {
-	failed := e.oracle.Judge(operation, replies)
+	failed := e.oracle.Judge(out.Operation, out.Replies)
 	rec := monitor.Record{
 		Time:      time.Now(),
-		Operation: operation,
-		Winner:    winner.Release,
+		Operation: out.Operation,
+		Winner:    out.Winner.Release,
 	}
 	var oldFailed, newFailed *bool
-	for i, r := range replies {
+	for i, r := range out.Replies {
 		if r.Release == "" {
 			continue
 		}
 		obs := monitor.Observation{
 			Release:   r.Release,
-			Responded: responded(r),
+			Responded: dispatch.Responded(r),
 			Evident:   !r.Valid(),
 			Judged:    true,
 			Failed:    failed[i],
@@ -1223,14 +962,14 @@ func (e *Engine) record(operation string, targets []Endpoint, replies []adjudica
 		}
 		rec.Releases = append(rec.Releases, obs)
 		f := failed[i]
-		if r.Release == oldest.Version {
+		if r.Release == out.Oldest.Version {
 			oldFailed = &f
 		}
-		if r.Release == newest.Version {
+		if r.Release == out.Newest.Version {
 			newFailed = &f
 		}
 	}
-	if oldFailed != nil && newFailed != nil && oldest.Version != newest.Version {
+	if oldFailed != nil && newFailed != nil && out.Oldest.Version != out.Newest.Version {
 		rec.Joint = bayes.Outcome(*oldFailed, *newFailed)
 	}
 	e.mon.Note(rec)
@@ -1238,13 +977,6 @@ func (e *Engine) record(operation string, targets []Endpoint, replies []adjudica
 	if e.cfg.Policy != nil && rec.Joint != 0 {
 		e.evaluatePolicy()
 	}
-}
-
-// isFault reports whether an evident failure still carried a response
-// (a SOAP fault is a response; a timeout or transport error is not).
-func isFault(err error) bool {
-	var f *soap.Fault
-	return errors.As(err, &f)
 }
 
 // evaluatePolicy runs the Bayesian switch criterion (§4.4, §5.1.1.2).
@@ -1256,23 +988,16 @@ func (e *Engine) evaluatePolicy() {
 		return
 	}
 	counts := e.mon.Joint()
-	p := e.cfg.Policy
-	if counts.N < p.MinDemands || counts.N%p.CheckEvery != 0 {
+	if !e.cfg.Policy.ShouldSwitch(counts, e.inference) {
 		return
 	}
-	post, err := e.inference.Posterior(counts)
-	if err != nil {
-		return
-	}
-	if p.Criterion.Satisfied(post) {
-		_ = e.updateState(func(s *engineState) error {
-			if s.phase != PhaseNewOnly {
-				s.phase = PhaseNewOnly
-				s.switchedAt = counts.N
-			}
-			return nil
-		})
-	}
+	_ = e.updateState(lifecycle.CausePolicy, func(s *engineState) error {
+		if s.phase != PhaseNewOnly {
+			s.phase = PhaseNewOnly
+			s.switchedAt = counts.N
+		}
+		return nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -1444,8 +1169,8 @@ func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, parsed
 		e.writeFault(w, soap.ClientFault(err.Error()), baseOp)
 		return
 	}
-	winner, adjErr := e.dispatch(r.Context(), soap.EnvelopeRaw(renamed), baseOp,
-		requestAdjudicator(r, e.adjudic))
+	override, _ := headerAdjudicator(r)
+	winner, adjErr := e.dispatch(r.Context(), soap.EnvelopeRaw(renamed), baseOp, override)
 	if adjErr != nil {
 		e.respond(w, baseOp, winner, adjErr)
 		return

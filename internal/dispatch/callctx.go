@@ -1,0 +1,187 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// callCtx is the per-dispatch context.Context: it carries the dispatch
+// deadline and propagates cancellation from the consumer's incoming
+// request context, without the per-request allocations of
+// context.WithTimeout (a fresh timerCtx, timer, closure and done
+// channel per dispatch).
+//
+// Pooling discipline: the struct, its done channel and its timer are
+// reused across dispatches. The done channel can be reused because on
+// the common path nothing ever closes it — when every release call
+// completes before the deadline and the consumer stays connected,
+// release() stops the timer and the parent watcher and puts the
+// pristine struct back. Only when a cancellation actually fires (the
+// deadline passes, or the consumer disconnects) is the channel closed;
+// such a struct is abandoned to the GC instead of recycled, because a
+// cancellation callback may still be in flight and per-incarnation
+// identity is exactly what this design avoids paying for.
+//
+// release() must only be called once every user of the context has
+// finished with it (the dispatcher calls it after the last reply is
+// collected), which is also what makes channel reuse sound: no stale
+// reader can be parked on Done() when the next dispatch borrows it.
+type callCtx struct {
+	done  chan struct{} // created once per struct; closed at most once
+	timer *time.Timer   // AfterFunc(onTimeout); created on first arm, reused
+
+	mu           sync.Mutex
+	err          error
+	consumerGone bool // cancellation came from the consumer's context
+	parent       context.Context
+	deadline     time.Time
+
+	stopParent func() bool // context.AfterFunc stop; nil when parent can't cancel
+	// parentDirty records a detach() that could not stop the parent
+	// callback (it had already started): the struct must not be
+	// recycled, because the callback may still fire against it.
+	parentDirty bool
+
+	// Bound method values, created once so arming never allocates.
+	onTimeoutFn      func()
+	onParentCancelFn func()
+}
+
+var _ context.Context = (*callCtx)(nil)
+
+var callCtxPool sync.Pool
+
+// acquireCallCtx arms a pooled context: its deadline is now+timeout,
+// clipped to the parent's own deadline, and the parent's cancellation
+// (the consumer hanging up) propagates until detach or release.
+func acquireCallCtx(parent context.Context, timeout time.Duration) *callCtx {
+	c, _ := callCtxPool.Get().(*callCtx)
+	if c == nil {
+		c = &callCtx{done: make(chan struct{})}
+		c.onTimeoutFn = c.onTimeout
+		c.onParentCancelFn = c.onParentCancel
+	}
+	dl := time.Now().Add(timeout)
+	if parent != nil {
+		if pd, ok := parent.Deadline(); ok && pd.Before(dl) {
+			dl = pd
+		}
+	}
+	c.mu.Lock()
+	c.parent = parent
+	c.deadline = dl
+	c.mu.Unlock()
+	c.parentDirty = false
+	if c.timer == nil {
+		c.timer = time.AfterFunc(time.Until(dl), c.onTimeoutFn)
+	} else {
+		c.timer.Reset(time.Until(dl))
+	}
+	if parent != nil && parent.Done() != nil {
+		c.stopParent = context.AfterFunc(parent, c.onParentCancelFn)
+	}
+	return c
+}
+
+func (c *callCtx) onTimeout() { c.cancel(context.DeadlineExceeded, false) }
+
+func (c *callCtx) onParentCancel() {
+	c.mu.Lock()
+	p := c.parent
+	c.mu.Unlock()
+	err := context.Canceled
+	if p != nil {
+		if perr := p.Err(); perr != nil {
+			err = perr
+		}
+	}
+	c.cancel(err, true)
+}
+
+func (c *callCtx) cancel(err error, consumer bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.consumerGone = consumer
+	close(c.done)
+}
+
+// detach stops consumer-cancellation propagation: the response has been
+// delivered and the remaining collection is the middleware's own
+// monitoring work, bounded by the dispatch deadline only. A consumer
+// disconnect that already fired stays in effect.
+func (c *callCtx) detach() {
+	if c.stopParent != nil {
+		if !c.stopParent() {
+			// The parent-cancel callback has already started: it may
+			// still fire against this incarnation, so release() must
+			// not recycle the struct.
+			c.parentDirty = true
+		}
+		c.stopParent = nil
+	}
+}
+
+// gone reports whether the context was cancelled by the consumer's own
+// request context rather than the dispatch deadline.
+func (c *callCtx) gone() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.consumerGone
+}
+
+// release disarms the context and recycles it when no cancellation
+// callback ever ran (or can still run). Must be called exactly once,
+// after the last user of the context has finished.
+func (c *callCtx) release() {
+	parentQuiet := !c.parentDirty
+	if c.stopParent != nil {
+		parentQuiet = c.stopParent() && parentQuiet
+		c.stopParent = nil
+	}
+	timerQuiet := c.timer.Stop()
+	c.mu.Lock()
+	fired := c.err != nil
+	c.parent = nil
+	c.mu.Unlock()
+	if parentQuiet && timerQuiet && !fired {
+		callCtxPool.Put(c)
+	}
+	// Otherwise a cancellation callback ran — or may still be running —
+	// against this incarnation: the struct is dirty (closed channel,
+	// set error) and is left for the GC.
+}
+
+// Deadline implements context.Context.
+func (c *callCtx) Deadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deadline, true
+}
+
+// Done implements context.Context.
+func (c *callCtx) Done() <-chan struct{} { return c.done }
+
+// Err implements context.Context.
+func (c *callCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Value implements context.Context by delegating to the parent, so
+// request-scoped values (traces, consumer identity) flow through to the
+// release calls.
+func (c *callCtx) Value(key any) any {
+	c.mu.Lock()
+	p := c.parent
+	c.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Value(key)
+}

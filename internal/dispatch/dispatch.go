@@ -1,0 +1,465 @@
+// Package dispatch is the fan-out/adjudicate pipeline of the managed
+// upgrade middleware (§4.2): given one intercepted consumer request and
+// the set of release endpoints to exercise, it invokes the releases
+// according to the operating mode, collects their replies within the
+// dispatch deadline, delivers an adjudicated winner, and hands the
+// complete reply set to the monitoring layer — finishing the collection
+// in the background when a mode delivers early.
+//
+// The package is lifecycle-agnostic: the caller decides which releases
+// are targets (phase selection, health marks) and which adjudication
+// rule delivers (phase authority, per-request consumer choice); the
+// dispatcher owns the mechanics — deadlines, fan-out goroutines, reply
+// pooling, the single-target fast path, and sequential mode.
+//
+// Deadlines derive from the consumer's incoming request context: a
+// disconnected client cancels its in-flight fan-out. Once a response
+// has been delivered, the remaining collection detaches from the
+// consumer and is bounded by the dispatch timeout alone, so monitoring
+// still sees every release's behaviour. Per-dispatch deadline contexts
+// are pooled (see callCtx) instead of allocating context.WithTimeout
+// machinery on every request.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsupgrade/internal/adjudicate"
+	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/soap"
+	"wsupgrade/internal/xrand"
+)
+
+// Endpoint identifies one deployed release of the upgraded service.
+type Endpoint struct {
+	// Version is the release's version string (releases must be
+	// distinguishable, §3.2).
+	Version string
+	// URL is the release's SOAP endpoint.
+	URL string
+}
+
+// Mode is the fan-out strategy while several releases are invoked (§4.2).
+type Mode int
+
+const (
+	// ModeReliability waits for all releases (bounded by Timeout) and
+	// adjudicates everything collected — §4.2 mode 1.
+	ModeReliability Mode = iota + 1
+	// ModeResponsiveness delivers the first valid response — mode 2.
+	ModeResponsiveness
+	// ModeDynamic delivers after Quorum responses arrive — mode 3.
+	ModeDynamic
+	// ModeSequential invokes releases one at a time, moving on only
+	// after an evident failure — mode 4.
+	ModeSequential
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeReliability:
+		return "parallel-reliability"
+	case ModeResponsiveness:
+		return "parallel-responsiveness"
+	case ModeDynamic:
+		return "parallel-dynamic"
+	case ModeSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Known reports whether m is one of the four §4.2 operating modes.
+func (m Mode) Known() bool { return m >= ModeReliability && m <= ModeSequential }
+
+// ParseMode converts a mode name to its value. Both the String form
+// ("parallel-reliability") and the short form ("reliability") parse.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "parallel-reliability", "reliability":
+		return ModeReliability, nil
+	case "parallel-responsiveness", "responsiveness":
+		return ModeResponsiveness, nil
+	case "parallel-dynamic", "dynamic":
+		return ModeDynamic, nil
+	case "sequential":
+		return ModeSequential, nil
+	default:
+		return 0, fmt.Errorf("dispatch: unknown mode %q", s)
+	}
+}
+
+// Request describes one fan-out.
+type Request struct {
+	// Parent is the consumer's incoming request context: its
+	// cancellation aborts the fan-out until a response is delivered,
+	// and its deadline (if earlier) clips the dispatch deadline.
+	Parent context.Context
+	// Targets are the releases to invoke, oldest first. At least one.
+	Targets []Endpoint
+	// Mode is the fan-out strategy; zero means ModeReliability.
+	Mode Mode
+	// Quorum is ModeDynamic's response count.
+	Quorum int
+	// Timeout bounds the dispatch.
+	Timeout time.Duration
+	// Operation names the invoked operation (monitoring key).
+	Operation string
+	// Envelope is the SOAP envelope posted to each release.
+	Envelope []byte
+	// Deliver selects the delivered reply among the collected
+	// responses; nil means adjudicate.RandomValid.
+	Deliver adjudicate.Adjudicator
+	// Oldest and Newest annotate the outcome for pairwise monitoring
+	// (the Table 1 joint record pairs the oldest and newest release).
+	Oldest, Newest Endpoint
+}
+
+// Outcome is the complete result of one dispatch, delivered to the
+// monitoring hook once every invoked release has been accounted for —
+// possibly after Do returned, when a mode delivered early. The Replies
+// slice is pooled: the hook must not retain it.
+type Outcome struct {
+	// Operation names the invoked operation.
+	Operation string
+	// Targets are the releases that were eligible; in sequential mode
+	// only the first len(Replies) were actually invoked.
+	Targets []Endpoint
+	// Replies holds each invoked release's classified reply, aligned
+	// with Targets.
+	Replies []adjudicate.Reply
+	// Winner is the delivered reply (zero when delivery failed).
+	Winner adjudicate.Reply
+	// Oldest and Newest echo the request's pair annotation.
+	Oldest, Newest Endpoint
+	// ConsumerGone marks a fan-out aborted by the consumer's own
+	// request context: the replies reflect the abort, not release
+	// behaviour, and must not be charged to the releases.
+	ConsumerGone bool
+}
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Client is the HTTP client used for release calls; nil means
+	// http.DefaultClient.
+	Client *http.Client
+	// Retry tolerates transient transport failures per release call.
+	Retry httpx.RetryPolicy
+	// Seed drives adjudication tie-breaking.
+	Seed uint64
+	// OnOutcome receives every dispatch's complete outcome. May be nil.
+	// It runs on the dispatching goroutine or, for early-delivery
+	// modes, on a background collector; it must be safe for concurrent
+	// use and must not retain the pooled Replies slice.
+	OnOutcome func(Outcome)
+}
+
+// Dispatcher executes fan-outs. Construct with New; Close waits for
+// background collection to drain.
+type Dispatcher struct {
+	client    *http.Client
+	retry     httpx.RetryPolicy
+	onOutcome func(Outcome)
+
+	// Adjudication tie-breaking draws from a pool of deterministic
+	// generators: one atomic-free Get per request instead of a
+	// dispatcher-wide lock. rngMaster only seeds new pool members.
+	rngMu     sync.Mutex
+	rngMaster *xrand.Rand
+	rngPool   sync.Pool
+
+	wg sync.WaitGroup
+}
+
+// New builds a dispatcher.
+func New(cfg Config) *Dispatcher {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry = httpx.NoRetry
+	}
+	return &Dispatcher{
+		client:    client,
+		retry:     cfg.Retry,
+		onOutcome: cfg.OnOutcome,
+		rngMaster: xrand.New(cfg.Seed),
+	}
+}
+
+// Close waits for background reply collection to finish. Collection is
+// bounded by the dispatch timeout, so Close never waits longer than
+// the longest in-flight deadline.
+func (d *Dispatcher) Close() error {
+	d.wg.Wait()
+	return nil
+}
+
+// getRNG hands one generator to a request. Generators are pooled; a
+// fresh one is split off the seeded master only when the pool is empty.
+func (d *Dispatcher) getRNG() *xrand.Rand {
+	if r, ok := d.rngPool.Get().(*xrand.Rand); ok {
+		return r
+	}
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	return d.rngMaster.Split()
+}
+
+func (d *Dispatcher) putRNG(r *xrand.Rand) { d.rngPool.Put(r) }
+
+// deliver adjudicates the collected replies with a pooled generator.
+func (d *Dispatcher) deliver(rule adjudicate.Adjudicator, collected []adjudicate.Reply) (adjudicate.Reply, error) {
+	rng := d.getRNG()
+	winner, err := rule.Adjudicate(collected, rng)
+	d.putRNG(rng)
+	return winner, err
+}
+
+// complete releases the dispatch context, reports the outcome and
+// recycles the reply slice. Called exactly once per dispatch, after the
+// last reply is in.
+func (d *Dispatcher) complete(c *callCtx, operation string, targets []Endpoint,
+	replies []adjudicate.Reply, winner adjudicate.Reply, oldest, newest Endpoint) {
+	gone := c.gone()
+	c.release()
+	if d.onOutcome != nil {
+		d.onOutcome(Outcome{
+			Operation:    operation,
+			Targets:      targets,
+			Replies:      replies,
+			Winner:       winner,
+			Oldest:       oldest,
+			Newest:       newest,
+			ConsumerGone: gone,
+		})
+	}
+	putReplySlice(replies)
+}
+
+// Do executes one fan-out and returns the delivered reply (or the
+// adjudication error). Monitoring work that should not delay delivery
+// finishes in the background.
+func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
+	targets, operation, envelope := req.Targets, req.Operation, req.Envelope
+	oldest, newest := req.Oldest, req.Newest
+	rule := req.Deliver
+	if rule == nil {
+		rule = adjudicate.RandomValid{}
+	}
+	callCtx := acquireCallCtx(req.Parent, req.Timeout)
+
+	// Single-target fast path (single-release phases, or every other
+	// target marked down): one synchronous call, no goroutine, no
+	// channel, no fan-out bookkeeping.
+	if len(targets) == 1 {
+		replies := getReplySlice(1)
+		replies[0] = d.callRelease(callCtx, targets[0], operation, envelope)
+		collected := replies[:0]
+		if responded(replies[0]) {
+			collected = replies[:1]
+		}
+		winner, adjErr := d.deliver(rule, collected)
+		d.complete(callCtx, operation, targets, replies, winner, oldest, newest)
+		return winner, adjErr
+	}
+
+	if req.Mode == ModeSequential {
+		return d.doSequential(callCtx, targets, envelope, operation, rule, oldest, newest)
+	}
+
+	type indexed struct {
+		i int
+		r adjudicate.Reply
+	}
+	ch := make(chan indexed, len(targets))
+	for i, t := range targets {
+		i, t := i, t
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			ch <- indexed{i, d.callRelease(callCtx, t, operation, envelope)}
+		}()
+	}
+
+	replies := getReplySlice(len(targets))
+	received := 0
+	collectOne := func() {
+		in := <-ch
+		replies[in.i] = in.r
+		received++
+	}
+
+	// How many replies must arrive before delivery.
+	need := len(targets)
+	switch req.Mode {
+	case ModeDynamic:
+		if req.Quorum > 0 && req.Quorum < need {
+			need = req.Quorum
+		}
+	case ModeResponsiveness:
+		need = 1
+	}
+
+	for received < need {
+		collectOne()
+	}
+	if req.Mode == ModeResponsiveness {
+		// Keep collecting until a valid reply arrives or all are in.
+		for !anyValid(replies) && received < len(targets) {
+			collectOne()
+		}
+	}
+
+	// Only actual responses are adjudicated: a SOAP fault is a collected
+	// (evidently incorrect) response, while a timeout or transport error
+	// means nothing was collected from that release (§5.2.1).
+	collected := getReplySlice(received)[:0]
+	for _, r := range replies {
+		if r.Release != "" && responded(r) {
+			collected = append(collected, r)
+		}
+	}
+	winner, adjErr := d.deliver(rule, collected)
+	putReplySlice(collected)
+
+	if received == len(targets) {
+		d.complete(callCtx, operation, targets, replies, winner, oldest, newest)
+		return winner, adjErr
+	}
+	// Delivery happened early; detach from the consumer's context (the
+	// response is theirs — the rest of the collection is ours) and
+	// finish in the background so the monitoring subsystem still sees
+	// every release's behaviour, bounded by the dispatch deadline.
+	callCtx.detach()
+	remaining := len(targets) - received
+	partial := replies
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for i := 0; i < remaining; i++ {
+			in := <-ch
+			partial[in.i] = in.r
+		}
+		d.complete(callCtx, operation, targets, partial, winner, oldest, newest)
+	}()
+	return winner, adjErr
+}
+
+// doSequential implements §4.2 mode 4: releases execute one at a time;
+// the next is invoked only on an evident failure of the previous.
+func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope []byte,
+	operation string, rule adjudicate.Adjudicator, oldest, newest Endpoint) (adjudicate.Reply, error) {
+	called := getReplySlice(len(targets))[:0]
+	for _, t := range targets {
+		r := d.callRelease(callCtx, t, operation, envelope)
+		called = append(called, r)
+		if r.Valid() {
+			break
+		}
+	}
+	collected := getReplySlice(len(called))[:0]
+	for _, r := range called {
+		if responded(r) {
+			collected = append(collected, r)
+		}
+	}
+	winner, err := d.deliver(rule, collected)
+	putReplySlice(collected)
+	// Targets are invoked in order, so the invoked prefix is targets[:k].
+	d.complete(callCtx, operation, targets[:len(called)], called, winner, oldest, newest)
+	return winner, err
+}
+
+// callRelease invokes one release and classifies the outcome. A 200
+// response's body is extracted with the zero-copy sniffer; the full
+// parse runs only for unusual envelopes and for fault decoding (the
+// SOAP 1.1 binding carries faults on HTTP 500).
+func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
+	start := time.Now()
+	reply := adjudicate.Reply{Release: ep.Version}
+	res, err := httpx.PostXML(ctx, d.client, ep.URL, soap.ContentType, envelope, d.retry)
+	reply.Latency = time.Since(start)
+	if err != nil {
+		reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, err)
+		return reply
+	}
+	reply.Header = res.Header
+	switch res.Status {
+	case http.StatusOK:
+		if inner, _, ok := soap.SniffBody(res.Body); ok {
+			reply.Body = inner
+			return reply
+		}
+		parsed, perr := soap.Parse(res.Body)
+		if perr != nil {
+			reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, perr)
+			return reply
+		}
+		reply.Body = parsed.BodyXML
+	case http.StatusInternalServerError:
+		parsed, perr := soap.Parse(res.Body)
+		if perr == nil && parsed.Fault != nil {
+			reply.Err = parsed.Fault
+			return reply
+		}
+		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
+	default:
+		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
+	}
+	return reply
+}
+
+// ---------------------------------------------------------------------------
+// Per-dispatch reply slice recycling
+
+// replySlices recycles the reply scratch slices of Do. Fan-outs are
+// small (a handful of releases), so the slices are tiny but allocated
+// twice per consumer request; pooling removes them from the hot path.
+// A slice must only be returned once nothing aliases it: the winner is
+// a value copy, adjudicators must not retain replies, and the outcome
+// hook must not retain the slice.
+var replySlices = sync.Pool{New: func() interface{} { return new([]adjudicate.Reply) }}
+
+func getReplySlice(n int) []adjudicate.Reply {
+	p := replySlices.Get().(*[]adjudicate.Reply)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	if n < 8 {
+		return make([]adjudicate.Reply, n, 8)
+	}
+	return make([]adjudicate.Reply, n)
+}
+
+func putReplySlice(s []adjudicate.Reply) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = adjudicate.Reply{} // drop body/header references
+	}
+	replySlices.Put(&s)
+}
+
+// Responded reports whether an exchange produced an application-level
+// response (a SOAP fault counts; a timeout or transport error does not).
+func Responded(r adjudicate.Reply) bool { return responded(r) }
+
+func responded(r adjudicate.Reply) bool {
+	return r.Valid() || soap.IsFault(r.Err)
+}
+
+func anyValid(replies []adjudicate.Reply) bool {
+	for _, r := range replies {
+		if r.Release != "" && r.Valid() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,316 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/adjudicate"
+	"wsupgrade/internal/soap"
+)
+
+// stubTransport answers every call in process with a canned response.
+type stubTransport struct {
+	status int
+	resp   []byte
+	delay  time.Duration
+	calls  atomic.Int64
+}
+
+func (t *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.calls.Add(1)
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+	if t.delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(t.delay):
+		}
+	}
+	status := t.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode: status,
+		Header:     http.Header{"Content-Type": []string{soap.ContentType}},
+		Body:       io.NopCloser(strings.NewReader(string(t.resp))),
+		Request:    req,
+	}, nil
+}
+
+func okEnvelope() []byte {
+	return soap.EnvelopeRaw([]byte(`<addResponse><sum>3</sum></addResponse>`))
+}
+
+func targets(n int) []Endpoint {
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = Endpoint{Version: "1." + string(rune('0'+i)), URL: "http://rel.invalid"}
+	}
+	return eps
+}
+
+func newStubDispatcher(tr http.RoundTripper, onOutcome func(Outcome)) *Dispatcher {
+	return New(Config{
+		Client:    &http.Client{Transport: tr},
+		OnOutcome: onOutcome,
+	})
+}
+
+func baseRequest(eps []Endpoint, mode Mode) Request {
+	return Request{
+		Parent:    context.Background(),
+		Targets:   eps,
+		Mode:      mode,
+		Timeout:   2 * time.Second,
+		Operation: "add",
+		Envelope:  soap.EnvelopeRaw([]byte(`<addRequest><a>1</a><b>2</b></addRequest>`)),
+		Oldest:    eps[0],
+		Newest:    eps[len(eps)-1],
+	}
+}
+
+func TestDoSingleTargetDelivers(t *testing.T) {
+	var out Outcome
+	var fired int
+	d := newStubDispatcher(&stubTransport{resp: okEnvelope()}, func(o Outcome) {
+		out = Outcome{
+			Operation: o.Operation, Winner: o.Winner,
+			ConsumerGone: o.ConsumerGone,
+		}
+		fired++
+	})
+	defer d.Close()
+	eps := targets(1)
+	winner, err := d.Do(baseRequest(eps, ModeReliability))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Release != "1.0" || !strings.Contains(string(winner.Body), "<sum>3</sum>") {
+		t.Fatalf("winner = %+v", winner)
+	}
+	if fired != 1 || out.Operation != "add" || out.ConsumerGone {
+		t.Fatalf("outcome = %+v (fired %d)", out, fired)
+	}
+}
+
+func TestDoFanOutReliabilityCollectsAll(t *testing.T) {
+	tr := &stubTransport{resp: okEnvelope()}
+	var replies int
+	var mu sync.Mutex
+	d := newStubDispatcher(tr, func(o Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range o.Replies {
+			if r.Release != "" {
+				replies++
+			}
+		}
+	})
+	eps := targets(3)
+	if _, err := d.Do(baseRequest(eps, ModeReliability)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if replies != 3 || tr.calls.Load() != 3 {
+		t.Fatalf("replies = %d, calls = %d", replies, tr.calls.Load())
+	}
+}
+
+func TestDoSequentialShortCircuits(t *testing.T) {
+	tr := &stubTransport{resp: okEnvelope()}
+	var invoked int
+	var mu sync.Mutex
+	d := newStubDispatcher(tr, func(o Outcome) {
+		mu.Lock()
+		invoked = len(o.Replies)
+		mu.Unlock()
+	})
+	defer d.Close()
+	if _, err := d.Do(baseRequest(targets(3), ModeSequential)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if invoked != 1 || tr.calls.Load() != 1 {
+		t.Fatalf("sequential invoked %d releases (%d calls)", invoked, tr.calls.Load())
+	}
+}
+
+func TestDoNoResponsesIsUnavailable(t *testing.T) {
+	d := New(Config{Client: &http.Client{Transport: &stubTransport{
+		resp: okEnvelope(), delay: time.Hour,
+	}}})
+	defer d.Close()
+	req := baseRequest(targets(2), ModeReliability)
+	req.Timeout = 30 * time.Millisecond
+	_, err := d.Do(req)
+	if !errors.Is(err, adjudicate.ErrNoResponses) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The satellite bugfix at the dispatcher level: a consumer that hangs up
+// cancels the in-flight fan-out instead of letting it run to the full
+// dispatch timeout, and the aborted outcome is flagged so monitoring can
+// ignore it.
+func TestDoConsumerCancelAbortsInFlight(t *testing.T) {
+	outcomes := make(chan Outcome, 1)
+	d := New(Config{
+		Client: &http.Client{Transport: &stubTransport{
+			resp: okEnvelope(), delay: time.Hour,
+		}},
+		OnOutcome: func(o Outcome) { outcomes <- Outcome{ConsumerGone: o.ConsumerGone} },
+	})
+	defer d.Close()
+	parent, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	req := baseRequest(targets(2), ModeReliability)
+	req.Parent = parent
+	req.Timeout = time.Hour
+	start := time.Now()
+	_, err := d.Do(req)
+	if err == nil {
+		t.Fatal("cancelled dispatch delivered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dispatch outlived its consumer by %v", elapsed)
+	}
+	select {
+	case o := <-outcomes:
+		if !o.ConsumerGone {
+			t.Fatal("aborted outcome not flagged ConsumerGone")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no outcome reported")
+	}
+}
+
+// Early delivery detaches from the consumer: responsiveness mode returns
+// the first reply, the consumer disconnects, and the straggler is still
+// collected for monitoring.
+func TestDoEarlyDeliveryDetachesFromConsumer(t *testing.T) {
+	fast := &stubTransport{resp: okEnvelope()}
+	slow := &stubTransport{resp: okEnvelope(), delay: 150 * time.Millisecond}
+	router := http.NewServeMux()
+	_ = router // two distinct hosts below instead
+
+	perHost := map[string]http.RoundTripper{
+		"fast.invalid": fast,
+		"slow.invalid": slow,
+	}
+	tr := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		return perHost[req.URL.Host].RoundTrip(req)
+	})
+	outcomes := make(chan Outcome, 1)
+	d := New(Config{
+		Client: &http.Client{Transport: tr},
+		OnOutcome: func(o Outcome) {
+			n := 0
+			for _, r := range o.Replies {
+				if r.Release != "" && r.Valid() {
+					n++
+				}
+			}
+			outcomes <- Outcome{ConsumerGone: o.ConsumerGone, Targets: o.Targets[:n]}
+		},
+	})
+	defer d.Close()
+
+	parent, cancel := context.WithCancel(context.Background())
+	eps := []Endpoint{
+		{Version: "1.0", URL: "http://fast.invalid"},
+		{Version: "1.1", URL: "http://slow.invalid"},
+	}
+	req := baseRequest(eps, ModeResponsiveness)
+	req.Parent = parent
+	winner, err := d.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.Release != "1.0" {
+		t.Fatalf("winner = %s", winner.Release)
+	}
+	cancel() // consumer hangs up right after delivery
+	select {
+	case o := <-outcomes:
+		if o.ConsumerGone {
+			t.Fatal("post-delivery disconnect flagged the outcome aborted")
+		}
+		if len(o.Targets) != 2 {
+			t.Fatalf("straggler not collected: %d valid replies", len(o.Targets))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("background collection never completed")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestDoAgainstLiveServerHonoursDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+	d := New(Config{Client: srv.Client()})
+	defer d.Close()
+	req := baseRequest([]Endpoint{{Version: "1.0", URL: srv.URL}}, ModeReliability)
+	req.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := d.Do(req)
+	if err == nil {
+		t.Fatal("expected unavailability")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not enforced")
+	}
+}
+
+func TestParseModeRoundTrips(t *testing.T) {
+	for _, m := range []Mode{ModeReliability, ModeResponsiveness, ModeDynamic, ModeSequential} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for short, want := range map[string]Mode{
+		"reliability": ModeReliability, "responsiveness": ModeResponsiveness,
+		"dynamic": ModeDynamic, "sequential": ModeSequential,
+	} {
+		if got, err := ParseMode(short); err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", short, got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string")
+	}
+}

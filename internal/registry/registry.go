@@ -294,6 +294,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// DecodeEntry reads one XML-encoded entry — the body of a §7.2 upgrade
+// notification callback — from r.
+func DecodeEntry(r io.Reader) (Entry, error) {
+	var e Entry
+	if err := decodeXML(r, &e); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
 func decodeXML(r io.Reader, v interface{}) error {
 	data, err := io.ReadAll(io.LimitReader(r, 1<<20))
 	if err != nil {

@@ -71,6 +71,14 @@ func ServerFault(msg string) *Fault { return &Fault{Code: "soap:Server", String:
 // ClientFault builds a sender-side fault.
 func ClientFault(msg string) *Fault { return &Fault{Code: "soap:Client", String: msg} }
 
+// IsFault reports whether err is (or wraps) a SOAP fault — an evident
+// failure that still carried a response, as opposed to a timeout or
+// transport error from which nothing was collected.
+func IsFault(err error) bool {
+	var f *Fault
+	return errors.As(err, &f)
+}
+
 // HeaderItem is one SOAP header entry, kept as raw XML.
 type HeaderItem []byte
 

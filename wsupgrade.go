@@ -32,7 +32,9 @@ import (
 	"wsupgrade/internal/bayes"
 	"wsupgrade/internal/composite"
 	"wsupgrade/internal/core"
+	"wsupgrade/internal/fleet"
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/registry"
@@ -87,6 +89,35 @@ const (
 
 // NewEngine builds a managed-upgrade middleware.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
+
+// Transition is one observed lifecycle transition; see
+// Engine.OnTransition and Fleet.OnTransition.
+type Transition = lifecycle.Transition
+
+// TransitionRules parameterize which §4.1 phase transitions the
+// lifecycle machine accepts (lifecycle.DefaultRules is what Engine
+// enforces: forward movement with skips, abort to OldOnly, restart out
+// of NewOnly).
+type TransitionRules = lifecycle.Rules
+
+// ---------------------------------------------------------------------------
+// Multi-unit upgrade fabric (Figs 1 and 4, §7).
+
+// Fleet hosts many upgrade units — the components of a composite
+// service, each upgrading independently — behind one listener with
+// host/path routing, a shared release transport pool, aggregated
+// health/confidence, a JSON admin API under /fleet/, and registry
+// upgrade-notification fan-in; see fleet.Fleet.
+type Fleet = fleet.Fleet
+
+// FleetConfig parameterizes a fleet.
+type FleetConfig = fleet.Config
+
+// FleetUnit is one hosted upgrade unit's configuration.
+type FleetUnit = fleet.UnitConfig
+
+// NewFleet builds a multi-unit upgrade fabric.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // RetryPolicy tolerates transient transport failures per release call
 // (EngineConfig.Retry) and bounds release response bodies via
