@@ -1,0 +1,33 @@
+# Build/verify entry points. The bench target is the allocation
+# regression gate CI runs: it measures the in-process (network-free)
+# benchmarks 5 times, snapshots each run as BENCH_<n>.json, and fails
+# when allocs/op on a gated hot-path benchmark regresses >10% over the
+# checked-in bench_baseline.json. Refresh the baseline with
+# `make bench-baseline` after an intentional change and commit it.
+
+GO        ?= go
+BENCH     ?= EngineInProcess|FleetInProcess
+COUNT     ?= 5
+BENCHTIME ?= 1000x
+GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInProcess/fleet-routed
+
+.PHONY: test vet bench bench-run bench-baseline clean-bench
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench-run: clean-bench
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem -count=$(COUNT) . | tee bench.out
+	$(GO) run ./cmd/benchgate -parse bench.out -out .
+
+bench: bench-run
+	$(GO) run ./cmd/benchgate -check -baseline bench_baseline.json -results . -keys '$(GATED)' -max-regress 0.10
+
+bench-baseline: bench-run
+	$(GO) run ./cmd/benchgate -update -baseline bench_baseline.json -results .
+
+clean-bench:
+	rm -f bench.out BENCH_*.json

@@ -8,10 +8,12 @@
 package wsupgrade
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -345,15 +347,17 @@ func BenchmarkEngineProxyParallel(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// In-process transport benchmarks: a stub http.RoundTripper replaces the
-// network entirely, so these isolate the engine's own per-request
-// overhead (read, sniff, dispatch, adjudicate, monitor, re-envelope)
-// from HTTP round-trip cost — the network-free baseline ROADMAP tracks.
+// In-process transport benchmarks: the network is replaced entirely —
+// by an in-memory pipe under the default wire transport, or a stub
+// http.RoundTripper under the net/http fallback — so these isolate the
+// engine's own per-request overhead (read, sniff, dispatch, adjudicate,
+// monitor, re-envelope) from real round-trip cost: the network-free
+// baseline ROADMAP tracks.
 
 // stubTransport answers every release call in process with a canned SOAP
-// response. The stub itself costs a few allocations per call (response
-// struct, header map, reader), which is the floor these benchmarks
-// cannot go below.
+// response through the net/http client machinery. The stub itself costs
+// a few allocations per call (response struct, header map, reader),
+// which is the floor the fallback benchmarks cannot go below.
 type stubTransport struct {
 	resp []byte
 }
@@ -375,15 +379,121 @@ func (t *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}, nil
 }
 
-// newInProcessEngine builds an engine over n stub releases, starting in
-// the given lifecycle phase (the lifecycle guards reject backward
-// transitions, so benchmarks start where they measure).
-func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase) *Engine {
+// wireStub is the wire-transport analogue of stubTransport: its dial
+// method hands the wire client one end of an in-memory pipe whose other
+// end speaks canned HTTP/1.1 keep-alive responses.
+type wireStub struct {
+	resp []byte // complete response bytes: head + canned SOAP envelope
+}
+
+func newWireStub(b *testing.B, payload interface{}) *wireStub {
 	b.Helper()
-	respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
+	env, err := soap.Envelope(payload)
 	if err != nil {
 		b.Fatal(err)
 	}
+	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		soap.ContentType, len(env))
+	return &wireStub{resp: append([]byte(head), env...)}
+}
+
+func (s *wireStub) dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	client, server := net.Pipe()
+	go s.serve(server)
+	return pipeConn{client}, nil
+}
+
+// pipeConn absorbs future-deadline arms: net.Pipe allocates a fresh
+// timer per SetDeadline, which would charge the harness — not the
+// engine — an allocation per exchange (a real TCP conn arms the runtime
+// poller, allocation-free). Past deadlines (the wire client's
+// cancellation poison) still propagate.
+type pipeConn struct {
+	net.Conn
+}
+
+func (c pipeConn) SetDeadline(t time.Time) error {
+	if !t.IsZero() && time.Until(t) <= 0 {
+		return c.Conn.SetDeadline(t)
+	}
+	return nil
+}
+
+// serve answers canned responses on one pipe, allocation-free per
+// request so the stub does not pollute the benchmark's allocs/op.
+func (s *wireStub) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		cl := -1
+		for {
+			line, err := br.ReadSlice('\n')
+			if err != nil {
+				return
+			}
+			if len(line) <= 2 { // blank line: end of head
+				break
+			}
+			if n, ok := sniffContentLength(line); ok {
+				cl = n
+			}
+		}
+		if cl > 0 {
+			if _, err := br.Discard(cl); err != nil {
+				return
+			}
+		}
+		if _, err := c.Write(s.resp); err != nil {
+			return
+		}
+	}
+}
+
+// sniffContentLength matches a "Content-Length: N" header line without
+// allocating.
+func sniffContentLength(line []byte) (int, bool) {
+	const key = "content-length:"
+	if len(line) < len(key) {
+		return 0, false
+	}
+	for i := 0; i < len(key); i++ {
+		c := line[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != key[i] {
+			return 0, false
+		}
+	}
+	n := 0
+	seen := false
+	for _, c := range line[len(key):] {
+		if c == ' ' || c == '\r' || c == '\n' {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		seen = true
+	}
+	return n, seen
+}
+
+// benchTransport selects which release transport an in-process engine
+// benchmarks.
+type benchTransport int
+
+const (
+	viaWire    benchTransport = iota // default path: wire client over in-memory pipes
+	viaNetHTTP                       // fallback path: net/http client over a stub RoundTripper
+)
+
+// newInProcessEngine builds an engine over n stub releases, starting in
+// the given lifecycle phase (the lifecycle guards reject backward
+// transitions, so benchmarks start where they measure).
+func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase, via benchTransport) *Engine {
+	b.Helper()
 	eps := make([]Endpoint, n)
 	for i := range eps {
 		eps[i] = Endpoint{
@@ -391,13 +501,23 @@ func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase)
 			URL:     fmt.Sprintf("http://release-%d.invalid", i),
 		}
 	}
-	engine, err := NewEngine(EngineConfig{
+	cfg := EngineConfig{
 		Releases:     eps,
 		Mode:         mode,
 		Quorum:       quorum,
 		InitialPhase: phase,
-		HTTP:         &http.Client{Transport: &stubTransport{resp: respEnv}},
-	})
+	}
+	switch via {
+	case viaWire:
+		cfg.Dial = newWireStub(b, service.AddResponse{Sum: 3}).dial
+	case viaNetHTTP:
+		respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.HTTP = &http.Client{Transport: &stubTransport{resp: respEnv}}
+	}
+	engine, err := NewEngine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -427,19 +547,24 @@ func driveInProcess(b *testing.B, engine *Engine) {
 
 // BenchmarkEngineInProcess measures pure engine overhead per phase over
 // two stub releases: the parallel fan-out versus the single-target fast
-// path of the old-only/new-only phases.
+// path of the old-only/new-only phases. The *-nethttp variants run the
+// same workload over the net/http fallback transport, so the wire
+// client's per-call saving stays visible in every report.
 func BenchmarkEngineInProcess(b *testing.B) {
 	for _, tc := range []struct {
 		name  string
 		phase Phase
+		via   benchTransport
 	}{
-		{"parallel", PhaseParallel},
-		{"observation", PhaseObservation},
-		{"old-only-fastpath", PhaseOldOnly},
-		{"new-only-fastpath", PhaseNewOnly},
+		{"parallel", PhaseParallel, viaWire},
+		{"observation", PhaseObservation, viaWire},
+		{"old-only-fastpath", PhaseOldOnly, viaWire},
+		{"new-only-fastpath", PhaseNewOnly, viaWire},
+		{"parallel-nethttp", PhaseParallel, viaNetHTTP},
+		{"old-only-fastpath-nethttp", PhaseOldOnly, viaNetHTTP},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0, tc.phase))
+			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0, tc.phase, tc.via))
 		})
 	}
 }
@@ -461,7 +586,7 @@ func BenchmarkEngineInProcessModes(b *testing.B) {
 			{"sequential", ModeSequential, 0},
 		} {
 			b.Run(fmt.Sprintf("%s-%dv", mc.name, n), func(b *testing.B) {
-				driveInProcess(b, newInProcessEngine(b, n, mc.mode, mc.quorum, PhaseParallel))
+				driveInProcess(b, newInProcessEngine(b, n, mc.mode, mc.quorum, PhaseParallel, viaWire))
 			})
 		}
 	}
@@ -474,11 +599,7 @@ func BenchmarkEngineInProcessModes(b *testing.B) {
 // hosting N units behind one listener — budgeted at ≤ 1 µs/op and
 // ≤ 5 allocs/op.
 func BenchmarkFleetInProcess(b *testing.B) {
-	respEnv, err := soap.Envelope(service.AddResponse{Sum: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
-	stub := &http.Client{Transport: &stubTransport{resp: respEnv}}
+	stub := newWireStub(b, service.AddResponse{Sum: 3})
 	unitEngine := func(prefix string) EngineConfig {
 		return EngineConfig{
 			Releases: []Endpoint{
@@ -486,7 +607,7 @@ func BenchmarkFleetInProcess(b *testing.B) {
 				{Version: "1.1", URL: "http://" + prefix + "-new.invalid"},
 			},
 			InitialPhase: PhaseOldOnly,
-			HTTP:         stub,
+			Dial:         stub.dial,
 		}
 	}
 	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})

@@ -106,15 +106,19 @@ type unitParams struct {
 	PfdUpper   float64
 	Oracle     string
 	LogPath    string
+	// UseNetHTTP forces the net/http release transport instead of the
+	// default wire client (TLS, proxies, exotic deployments).
+	UseNetHTTP bool
 }
 
 // engineConfig translates unit parameters into a core.Config. The
 // returned closer owns the JSONL log file, if any.
 func engineConfig(p unitParams) (core.Config, io.Closer, error) {
 	cfg := core.Config{
-		Releases: p.Releases,
-		Timeout:  p.Timeout,
-		Quorum:   p.Quorum,
+		Releases:   p.Releases,
+		Timeout:    p.Timeout,
+		Quorum:     p.Quorum,
+		UseNetHTTP: p.UseNetHTTP,
 	}
 	if len(p.Releases) == 0 {
 		return cfg, nil, fmt.Errorf("at least one release is required")
@@ -224,10 +228,12 @@ type fleetUnit struct {
 	PfdUpper   float64         `json:"pfdUpper,omitempty"`
 	Oracle     string          `json:"oracle,omitempty"`
 	Log        string          `json:"log,omitempty"`
+	UseNetHTTP bool            `json:"useNetHTTP,omitempty"`
 }
 
 // loadFleetConfig builds the fleet configuration from a JSON file.
-func loadFleetConfig(path string, defaultTarget float64) (fleet.Config, []io.Closer, error) {
+// netHTTP forces the net/http release transport on every unit.
+func loadFleetConfig(path string, defaultTarget float64, netHTTP bool) (fleet.Config, []io.Closer, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fleet.Config{}, nil, fmt.Errorf("reading fleet config: %w", err)
@@ -264,6 +270,7 @@ func loadFleetConfig(path string, defaultTarget float64) (fleet.Config, []io.Clo
 			PfdUpper:   u.PfdUpper,
 			Oracle:     u.Oracle,
 			LogPath:    u.Log,
+			UseNetHTTP: u.UseNetHTTP || netHTTP,
 		})
 		if err != nil {
 			closeAll()
@@ -306,6 +313,7 @@ func run(ctx context.Context, args []string) error {
 		oracleName = fs.String("oracle", "reference", "failure oracle: fault-only|reference|back-to-back")
 		adminToken = fs.String("admin-token", "", "fleet mode: token guarding the /fleet/ admin API (overrides the config's adminToken)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		netHTTP    = fs.Bool("net-http", false, "use the net/http release transport instead of the default wire client (TLS, proxies)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -317,7 +325,7 @@ func run(ctx context.Context, args []string) error {
 		banner  string
 	)
 	if *fleetPath != "" {
-		cfg, logClosers, err := loadFleetConfig(*fleetPath, *target)
+		cfg, logClosers, err := loadFleetConfig(*fleetPath, *target, *netHTTP)
 		if err != nil {
 			return err
 		}
@@ -354,6 +362,7 @@ func run(ctx context.Context, args []string) error {
 			PfdUpper:   *pfdUpper,
 			Oracle:     *oracleName,
 			LogPath:    *logPath,
+			UseNetHTTP: *netHTTP,
 		})
 		if err != nil {
 			return err

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -60,9 +61,11 @@ import (
 	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/pool"
 	"wsupgrade/internal/registry"
 	"wsupgrade/internal/soap"
 	"wsupgrade/internal/stats"
+	"wsupgrade/internal/wire"
 	"wsupgrade/internal/wsdl"
 )
 
@@ -155,8 +158,23 @@ type Config struct {
 	Contract *wsdl.Contract
 	// Monitor overrides the monitoring subsystem (default monitor.New()).
 	Monitor *monitor.Monitor
-	// HTTP overrides the transport (default: client with Timeout).
+	// HTTP overrides the release-call transport with a net/http client.
+	// When nil (and UseNetHTTP is false) release calls go over the
+	// internal/wire client — the lean HTTP/1.1 dispatch transport with
+	// per-endpoint connection pools. Set HTTP (or UseNetHTTP) for TLS,
+	// proxies or any other case that needs the full net/http stack.
 	HTTP *http.Client
+	// UseNetHTTP forces the net/http fallback transport (an
+	// httpx.NewPooledClient) even when HTTP is nil.
+	UseNetHTTP bool
+	// Dial overrides the wire transport's connection establishment
+	// (in-memory benchmarks and tests). Ignored when HTTP or UseNetHTTP
+	// selects the net/http path.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Wire injects a shared wire client (the fleet's cross-unit pool);
+	// nil means the engine builds and owns one. Ignored when HTTP or
+	// UseNetHTTP selects the net/http path.
+	Wire *wire.Client
 	// Seed drives adjudication tie-breaking.
 	Seed uint64
 	// Store streams the event log as JSONL (the architecture's
@@ -184,6 +202,21 @@ type engineState struct {
 	// deliver is the phase-appropriate delivery rule, precomputed at
 	// publication so the hot path never re-boxes an adjudicator.
 	deliver adjudicate.Adjudicator
+	// winnerHdr maps each release version to its precomputed
+	// X-Wsupgrade-Winner header value slice, so the response path does
+	// not allocate a fresh []string per request. The slices are shared:
+	// response writers must not mutate them (net/http and httptest only
+	// read or clone).
+	winnerHdr map[string][]string
+}
+
+// winnerHeaders precomputes the per-release winner-header values.
+func winnerHeaders(releases []Endpoint) map[string][]string {
+	m := make(map[string][]string, len(releases))
+	for _, r := range releases {
+		m[r.Version] = []string{r.Version}
+	}
+	return m
 }
 
 // clone returns a deep copy safe to mutate before publication.
@@ -225,11 +258,16 @@ type Engine struct {
 	// ownsClient marks an engine-built client whose pooled transport
 	// Close must shut down (a caller-supplied Config.HTTP is theirs).
 	ownsClient bool
-	adjudic    adjudicate.Adjudicator
-	oracle     oracle.Oracle
-	mon        *monitor.Monitor
-	inference  *bayes.WhiteBox
-	disp       *dispatch.Dispatcher
+	// wire is the lean dispatch transport (nil on the net/http path);
+	// ownsWire marks one built (and closed) by this engine rather than
+	// injected by a fleet.
+	wire      *wire.Client
+	ownsWire  bool
+	adjudic   adjudicate.Adjudicator
+	oracle    oracle.Oracle
+	mon       *monitor.Monitor
+	inference *bayes.WhiteBox
+	disp      *dispatch.Dispatcher
 
 	// contractOps is the set of operation names in cfg.Contract (nil
 	// when no contract is configured). It guards §6.2 "<op>Conf" variant
@@ -329,23 +367,53 @@ func New(cfg Config) (*Engine, error) {
 	}
 	releases := append([]Endpoint(nil), cfg.Releases...)
 	e.state.Store(&engineState{
-		releases: releases,
-		phase:    cfg.InitialPhase,
-		mode:     cfg.Mode,
-		quorum:   cfg.Quorum,
-		timeout:  cfg.Timeout,
-		deliver:  deliveryRule(cfg.InitialPhase, releases[0], releases[len(releases)-1], cfg.Adjudicator),
+		releases:  releases,
+		phase:     cfg.InitialPhase,
+		mode:      cfg.Mode,
+		quorum:    cfg.Quorum,
+		timeout:   cfg.Timeout,
+		deliver:   deliveryRule(cfg.InitialPhase, releases[0], releases[len(releases)-1], cfg.Adjudicator),
+		winnerHdr: winnerHeaders(releases),
 	})
-	if cfg.HTTP != nil {
+	var post dispatch.PostFunc
+	switch {
+	case cfg.HTTP != nil:
 		e.client = cfg.HTTP
-	} else {
-		// A dedicated pooled transport: http.DefaultTransport keeps only
-		// 2 idle connections per host, so parallel fan-out to the same
-		// release endpoint would re-dial on every burst.
+	case cfg.UseNetHTTP:
+		// The net/http fallback: a dedicated pooled transport
+		// (http.DefaultTransport keeps only 2 idle connections per host,
+		// so parallel fan-out to the same release endpoint would re-dial
+		// on every burst).
 		e.client = httpx.NewPooledClient(cfg.Timeout+500*time.Millisecond, len(cfg.Releases))
 		e.ownsClient = true
+	default:
+		// The wire transport: release calls bypass net/http entirely.
+		if cfg.Wire != nil {
+			e.wire = cfg.Wire
+			// Management traffic (health probes) is low-rate; a plain
+			// shared-transport client suffices when the wire client (and
+			// its fallback) belong to a fleet.
+			e.client = httpx.NewClient(cfg.Timeout + 500*time.Millisecond)
+		} else {
+			// The pooled net/http client does double duty: it is the wire
+			// client's fallback for endpoints wire does not speak natively
+			// (https — a TLS release must keep PR 2's per-host idle pool,
+			// not starve on http.DefaultClient), and the engine's own
+			// management/probe client.
+			fallback := httpx.NewPooledClient(cfg.Timeout+500*time.Millisecond, len(cfg.Releases))
+			e.wire = wire.NewClient(wire.Options{
+				Dial:     cfg.Dial,
+				Timeout:  cfg.Timeout + 500*time.Millisecond,
+				Fallback: fallback,
+			})
+			e.ownsWire = true
+			e.client = fallback
+			e.ownsClient = true
+		}
+		post = e.wire.PostXML
 	}
 	e.disp = dispatch.New(dispatch.Config{
+		Post:      post,
 		Client:    e.client,
 		Retry:     cfg.Retry,
 		Seed:      cfg.Seed,
@@ -385,6 +453,9 @@ func (e *Engine) Close() error {
 	if e.ownsClient {
 		e.client.CloseIdleConnections()
 	}
+	if e.ownsWire {
+		_ = e.wire.Close()
+	}
 	return err
 }
 
@@ -413,6 +484,7 @@ func (e *Engine) updateState(cause lifecycle.Cause, mutate func(*engineState) er
 	}
 	next.deliver = deliveryRule(next.phase, next.releases[0],
 		next.releases[len(next.releases)-1], e.adjudic)
+	next.winnerHdr = winnerHeaders(next.releases)
 	e.state.Store(next)
 	from, to := cur.phase, next.phase
 	demands := 0
@@ -866,16 +938,28 @@ func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudic
 			headers = append(headers, confidenceHeader(operation, conf))
 		}
 	}
-	w.Header().Set("Content-Type", soap.ContentType)
+	// Both headers are assigned as precomputed shared value slices (keys
+	// in canonical form) instead of Header.Set, which allocates a fresh
+	// []string per call.
+	h := w.Header()
+	h["Content-Type"] = soapContentType
 	if winner.Release != "" {
-		w.Header().Set("X-Wsupgrade-Winner", winner.Release)
+		if v, ok := e.state.Load().winnerHdr[winner.Release]; ok {
+			h["X-Wsupgrade-Winner"] = v
+		} else {
+			h.Set("X-Wsupgrade-Winner", winner.Release)
+		}
 	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(soap.EnvelopeRaw(winner.Body, headers...))
+	_, _ = soap.WriteEnvelopeRaw(w, winner.Body, headers...)
 }
 
+// soapContentType is the shared Content-Type header value; response
+// writers must not mutate it.
+var soapContentType = []string{soap.ContentType}
+
 func (e *Engine) writeFault(w http.ResponseWriter, f *soap.Fault, operation string) {
-	w.Header().Set("Content-Type", soap.ContentType)
+	w.Header()["Content-Type"] = soapContentType
 	w.WriteHeader(http.StatusInternalServerError)
 	_, _ = w.Write(soap.FaultEnvelope(f))
 }
@@ -933,6 +1017,11 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	})
 }
 
+// obsSlices recycles recordOutcome's observation scratch (monitor.Note
+// does not retain rec.Releases past its return); see pool.Slice for the
+// zero-allocation cycle.
+var obsSlices pool.Slice[monitor.Observation]
+
 // recordOutcome feeds the monitoring subsystem and evaluates the switch
 // policy. It is the dispatcher's outcome hook and may run on a
 // background collector after delivery. A fan-out aborted by its own
@@ -946,6 +1035,7 @@ func (e *Engine) recordOutcome(out dispatch.Outcome) {
 		Time:      time.Now(),
 		Operation: out.Operation,
 		Winner:    out.Winner.Release,
+		Releases:  obsSlices.Get(len(out.Replies)),
 	}
 	var oldFailed, newFailed *bool
 	for i, r := range out.Replies {
@@ -973,6 +1063,7 @@ func (e *Engine) recordOutcome(out dispatch.Outcome) {
 		rec.Joint = bayes.Outcome(*oldFailed, *newFailed)
 	}
 	e.mon.Note(rec)
+	obsSlices.Put(rec.Releases)
 
 	if e.cfg.Policy != nil && rec.Joint != 0 {
 		e.evaluatePolicy()

@@ -22,10 +22,10 @@ import (
 	"wsupgrade/internal/wsdl"
 )
 
-// The engine's default client must carry the tuned pooled transport:
-// http.DefaultTransport keeps only 2 idle connections per host, which
-// starves parallel fan-out to the same release endpoint.
-func TestDefaultClientUsesPooledTransport(t *testing.T) {
+// The engine's default release transport is the wire client, owned and
+// closed by the engine; a plain management client remains for health
+// probes.
+func TestDefaultTransportIsWire(t *testing.T) {
 	e, err := New(Config{Releases: []Endpoint{
 		{Version: "1.0", URL: "http://a.invalid"},
 		{Version: "1.1", URL: "http://b.invalid"},
@@ -34,9 +34,35 @@ func TestDefaultClientUsesPooledTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = e.Close() }()
+	if e.wire == nil || !e.ownsWire {
+		t.Fatalf("default transport: wire=%v ownsWire=%v, want an owned wire client", e.wire != nil, e.ownsWire)
+	}
+	if e.client == nil {
+		t.Fatal("no management client for health probes")
+	}
+}
+
+// The UseNetHTTP fallback must carry the tuned pooled transport:
+// http.DefaultTransport keeps only 2 idle connections per host, which
+// starves parallel fan-out to the same release endpoint.
+func TestNetHTTPFallbackUsesPooledTransport(t *testing.T) {
+	e, err := New(Config{
+		Releases: []Endpoint{
+			{Version: "1.0", URL: "http://a.invalid"},
+			{Version: "1.1", URL: "http://b.invalid"},
+		},
+		UseNetHTTP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+	if e.wire != nil {
+		t.Fatal("UseNetHTTP built a wire client")
+	}
 	transport, ok := e.client.Transport.(*http.Transport)
 	if !ok {
-		t.Fatalf("default client transport is %T, want *http.Transport", e.client.Transport)
+		t.Fatalf("fallback client transport is %T, want *http.Transport", e.client.Transport)
 	}
 	if transport.MaxIdleConnsPerHost < 8 {
 		t.Fatalf("MaxIdleConnsPerHost = %d; fan-out would thrash connections", transport.MaxIdleConnsPerHost)

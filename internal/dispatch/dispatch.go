@@ -30,6 +30,7 @@ import (
 
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/pool"
 	"wsupgrade/internal/soap"
 	"wsupgrade/internal/xrand"
 )
@@ -144,10 +145,20 @@ type Outcome struct {
 	ConsumerGone bool
 }
 
+// PostFunc is the release-call transport: it must behave exactly like
+// httpx.PostXML (retry of transient failures, exponential backoff,
+// bounded response reads — the conformance suite in internal/wire is
+// the executable definition). The wire client's PostXML and a bound
+// httpx.PostXML both satisfy it.
+type PostFunc func(ctx context.Context, url, contentType string, body []byte, policy httpx.RetryPolicy) (httpx.Result, error)
+
 // Config parameterizes a Dispatcher.
 type Config struct {
-	// Client is the HTTP client used for release calls; nil means
-	// http.DefaultClient.
+	// Post is the release-call transport; nil means httpx.PostXML over
+	// Client.
+	Post PostFunc
+	// Client is the HTTP client used for release calls when Post is
+	// nil; nil means http.DefaultClient.
 	Client *http.Client
 	// Retry tolerates transient transport failures per release call.
 	Retry httpx.RetryPolicy
@@ -163,7 +174,7 @@ type Config struct {
 // Dispatcher executes fan-outs. Construct with New; Close waits for
 // background collection to drain.
 type Dispatcher struct {
-	client    *http.Client
+	post      PostFunc
 	retry     httpx.RetryPolicy
 	onOutcome func(Outcome)
 
@@ -179,15 +190,21 @@ type Dispatcher struct {
 
 // New builds a dispatcher.
 func New(cfg Config) *Dispatcher {
-	client := cfg.Client
-	if client == nil {
-		client = http.DefaultClient
+	post := cfg.Post
+	if post == nil {
+		client := cfg.Client
+		if client == nil {
+			client = http.DefaultClient
+		}
+		post = func(ctx context.Context, url, contentType string, body []byte, policy httpx.RetryPolicy) (httpx.Result, error) {
+			return httpx.PostXML(ctx, client, url, contentType, body, policy)
+		}
 	}
 	if cfg.Retry.Attempts == 0 {
 		cfg.Retry = httpx.NoRetry
 	}
 	return &Dispatcher{
-		client:    client,
+		post:      post,
 		retry:     cfg.Retry,
 		onOutcome: cfg.OnOutcome,
 		rngMaster: xrand.New(cfg.Seed),
@@ -385,7 +402,7 @@ func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope
 func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
 	start := time.Now()
 	reply := adjudicate.Reply{Release: ep.Version}
-	res, err := httpx.PostXML(ctx, d.client, ep.URL, soap.ContentType, envelope, d.retry)
+	res, err := d.post(ctx, ep.URL, soap.ContentType, envelope, d.retry)
 	reply.Latency = time.Since(start)
 	if err != nil {
 		reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, err)
@@ -420,23 +437,19 @@ func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation str
 // ---------------------------------------------------------------------------
 // Per-dispatch reply slice recycling
 
-// replySlices recycles the reply scratch slices of Do. Fan-outs are
-// small (a handful of releases), so the slices are tiny but allocated
-// twice per consumer request; pooling removes them from the hot path.
-// A slice must only be returned once nothing aliases it: the winner is
-// a value copy, adjudicators must not retain replies, and the outcome
-// hook must not retain the slice.
-var replySlices = sync.Pool{New: func() interface{} { return new([]adjudicate.Reply) }}
+// replySlices recycles the reply scratch slices of Do (see pool.Slice
+// for the zero-allocation cycle). Fan-outs are small (a handful of
+// releases), so the slices are tiny but allocated twice per consumer
+// request; pooling removes them from the hot path. A slice must only be
+// returned once nothing aliases it: the winner is a value copy,
+// adjudicators must not retain replies, and the outcome hook must not
+// retain the slice.
+var replySlices pool.Slice[adjudicate.Reply]
 
+// getReplySlice returns a length-n scratch slice of zero Replies
+// (putReplySlice clears recycled backing before pooling it).
 func getReplySlice(n int) []adjudicate.Reply {
-	p := replySlices.Get().(*[]adjudicate.Reply)
-	if cap(*p) >= n {
-		return (*p)[:n]
-	}
-	if n < 8 {
-		return make([]adjudicate.Reply, n, 8)
-	}
-	return make([]adjudicate.Reply, n)
+	return replySlices.Get(n)[:n]
 }
 
 func putReplySlice(s []adjudicate.Reply) {
@@ -444,7 +457,7 @@ func putReplySlice(s []adjudicate.Reply) {
 	for i := range s {
 		s[i] = adjudicate.Reply{} // drop body/header references
 	}
-	replySlices.Put(&s)
+	replySlices.Put(s)
 }
 
 // Responded reports whether an exchange produced an application-level

@@ -38,6 +38,7 @@ import (
 	"wsupgrade/internal/httpx"
 	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/registry"
+	"wsupgrade/internal/wire"
 )
 
 // Errors reported by the fleet.
@@ -72,9 +73,10 @@ type UnitConfig struct {
 type Config struct {
 	// Units lists the hosted upgrade units. At least one.
 	Units []UnitConfig
-	// HTTP optionally overrides the shared release-side transport; the
-	// default is an httpx.NewPooledClient sized across all units'
-	// releases.
+	// HTTP optionally overrides the shared release-side transport with a
+	// net/http client for every unit that does not bring its own. The
+	// default is one shared wire client (see internal/wire): per-endpoint
+	// persistent connection pools spanning all units.
 	HTTP *http.Client
 	// AdminToken, when set, guards the management surface: every
 	// /fleet/ request except the read-only /fleet/healthz must carry it
@@ -111,8 +113,9 @@ type Fleet struct {
 	byName     map[string]*Unit
 	byHost     map[string]*Unit
 	byService  map[string]*Unit
-	client     *http.Client
-	ownsClient bool
+	client     *http.Client // shared net/http transport; nil unless Config.HTTP is set
+	wire       *wire.Client // shared wire transport; nil when Config.HTTP is set
+	fallback   *http.Client // the wire client's pooled https/exotic fallback, fleet-owned
 	admin      http.Handler
 	adminToken string
 }
@@ -132,25 +135,36 @@ func New(cfg Config) (*Fleet, error) {
 		adminToken: cfg.AdminToken,
 	}
 
-	// One release-side transport pool for the whole fleet, sized by the
-	// total release count and the slowest unit's timeout.
+	// One release-side transport for the whole fleet: with Config.HTTP a
+	// shared net/http client; by default a shared wire client whose
+	// per-endpoint pools span all units (N units must not each hoard
+	// idle connections). Exchange deadlines are backstopped by the
+	// slowest unit's timeout.
+	maxTimeout := time.Duration(0)
+	for _, u := range cfg.Units {
+		t := u.Engine.Timeout
+		if t == 0 {
+			t = 2 * time.Second
+		}
+		if t > maxTimeout {
+			maxTimeout = t
+		}
+	}
 	if cfg.HTTP != nil {
 		f.client = cfg.HTTP
 	} else {
 		totalReleases := 0
-		maxTimeout := time.Duration(0)
 		for _, u := range cfg.Units {
 			totalReleases += len(u.Engine.Releases)
-			t := u.Engine.Timeout
-			if t == 0 {
-				t = 2 * time.Second
-			}
-			if t > maxTimeout {
-				maxTimeout = t
-			}
 		}
-		f.client = httpx.NewPooledClient(maxTimeout+500*time.Millisecond, totalReleases)
-		f.ownsClient = true
+		// The shared wire client's fallback is a pooled net/http client
+		// sized across all units, so https release endpoints keep their
+		// per-host idle pools instead of starving on http.DefaultClient.
+		f.fallback = httpx.NewPooledClient(maxTimeout+500*time.Millisecond, totalReleases)
+		f.wire = wire.NewClient(wire.Options{
+			Timeout:  maxTimeout + 500*time.Millisecond,
+			Fallback: f.fallback,
+		})
 	}
 
 	for _, uc := range cfg.Units {
@@ -163,8 +177,15 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("%w: duplicate unit %q", ErrBadConfig, uc.Name)
 		}
 		ecfg := uc.Engine
-		if ecfg.HTTP == nil {
+		switch {
+		case ecfg.HTTP != nil || ecfg.UseNetHTTP:
+			// The unit brings (or forces) its own net/http transport.
+		case f.client != nil:
 			ecfg.HTTP = f.client
+		case ecfg.Wire == nil && ecfg.Dial == nil:
+			// A unit with its own Dial seam builds its own wire client;
+			// everyone else shares the fleet-wide pool.
+			ecfg.Wire = f.wire
 		}
 		engine, err := core.New(ecfg)
 		if err != nil {
@@ -217,8 +238,11 @@ func (f *Fleet) Close() error {
 			firstErr = err
 		}
 	}
-	if f.ownsClient {
-		f.client.CloseIdleConnections()
+	if f.wire != nil {
+		_ = f.wire.Close()
+	}
+	if f.fallback != nil {
+		f.fallback.CloseIdleConnections()
 	}
 	return firstErr
 }

@@ -216,17 +216,32 @@ func TestHostRoutingOwnsWholePathSpace(t *testing.T) {
 }
 
 func TestSharedTransportAcrossUnits(t *testing.T) {
-	f, _ := twoUnitFleet(t, nil)
-	if !f.ownsClient {
-		t.Fatal("fleet did not build the shared transport")
+	f, ts := twoUnitFleet(t, nil)
+	if f.wire == nil {
+		t.Fatal("fleet did not build the shared wire transport")
 	}
-	tr, ok := f.client.Transport.(*http.Transport)
-	if !ok {
-		t.Fatalf("shared transport is %T", f.client.Transport)
+	// Both units' dispatch traffic must ride the one shared wire client,
+	// not per-unit pools.
+	for _, unit := range []string{"flights", "hotels"} {
+		if _, err := callUnit(t, ts.URL, unit, 1, 2); err != nil {
+			t.Fatalf("%s: %v", unit, err)
+		}
 	}
-	// Sized across all units' releases (4 total).
-	if tr.MaxIdleConns < 4*8 {
-		t.Fatalf("MaxIdleConns = %d not sized across units", tr.MaxIdleConns)
+}
+
+// A fleet configured with an explicit net/http client hands it to every
+// unit that does not bring its own — the TLS/proxy escape hatch.
+func TestSharedNetHTTPTransport(t *testing.T) {
+	shared := &http.Client{Timeout: 5 * time.Second}
+	f, ts := twoUnitFleet(t, func(cfg *Config) { cfg.HTTP = shared })
+	if f.wire != nil {
+		t.Fatal("explicit HTTP config still built a wire client")
+	}
+	if f.client != shared {
+		t.Fatal("shared client replaced")
+	}
+	if _, err := callUnit(t, ts.URL, "flights", 1, 2); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -19,7 +19,9 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -83,7 +85,10 @@ func NewPooledClient(timeout time.Duration, hosts int) *http.Client {
 // readPool recycles the scratch buffers of ReadBounded. Bodies on the
 // middleware's hot path are small SOAP envelopes; recycling the growth
 // of a fresh buffer per exchange was measurable allocator traffic.
-var readPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+var readPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 4096)
+	return &b
+}}
 
 // maxPooledReadBuf keeps an occasional giant body from pinning its
 // buffer in the pool forever.
@@ -91,24 +96,38 @@ const maxPooledReadBuf = 1 << 16
 
 // ReadBounded reads r to EOF through a pooled scratch buffer and returns
 // a right-sized, caller-owned copy. Reading more than max bytes returns
-// ErrTooLarge.
+// ErrTooLarge. The read loop is hand-rolled (no io.LimitReader /
+// bytes.Buffer plumbing): this runs at least twice per proxied request,
+// and the wrapper structs alone were measurable.
 func ReadBounded(r io.Reader, max int64) ([]byte, error) {
-	b := readPool.Get().(*bytes.Buffer)
-	b.Reset()
+	bp := readPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	defer func() {
-		if b.Cap() <= maxPooledReadBuf {
-			readPool.Put(b)
+		if cap(buf) <= maxPooledReadBuf {
+			*bp = buf[:0]
 		}
+		readPool.Put(bp)
 	}()
-	n, err := b.ReadFrom(io.LimitReader(r, max+1))
-	if err != nil {
-		return nil, err
+	for {
+		if len(buf) == cap(buf) {
+			next := make([]byte, len(buf), 2*cap(buf))
+			copy(next, buf)
+			buf = next
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if int64(len(buf)) > max {
+			return nil, fmt.Errorf("%w: more than %d bytes", ErrTooLarge, max)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	if n > max {
-		return nil, fmt.Errorf("%w: more than %d bytes", ErrTooLarge, max)
-	}
-	out := make([]byte, b.Len())
-	copy(out, b.Bytes())
+	out := make([]byte, len(buf))
+	copy(out, buf)
 	return out, nil
 }
 
@@ -149,28 +168,36 @@ func (p RetryPolicy) Validate() error {
 	return nil
 }
 
-func (p RetryPolicy) retryStatus(code int) bool {
+// ShouldRetryStatus reports whether the policy treats an HTTP status as
+// transient. It is exported so alternate transports (internal/wire)
+// share PostXML's retry semantics by construction rather than by copy.
+func (p RetryPolicy) ShouldRetryStatus(code int) bool {
 	if p.RetryStatus != nil {
 		return p.RetryStatus(code)
 	}
 	return code >= 500 && code != http.StatusInternalServerError
 }
 
-// backoffFor returns the delay before the given attempt (≥ 2): Backoff
-// for the second attempt, doubling for each one after.
-func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+// BackoffFor returns the delay before the given attempt (≥ 2): Backoff
+// for the second attempt, doubling for each one after. Exported for
+// alternate transports; see ShouldRetryStatus.
+func (p RetryPolicy) BackoffFor(attempt int) time.Duration {
 	return time.Duration(float64(p.Backoff) * math.Pow(2, float64(attempt-2)))
 }
 
-// maxResponseBytes resolves the effective response cap.
-func (p RetryPolicy) maxResponseBytes() int64 {
+// EffectiveMaxResponseBytes resolves the response cap, applying the
+// default when MaxResponseBytes is zero. Exported for alternate
+// transports; see ShouldRetryStatus.
+func (p RetryPolicy) EffectiveMaxResponseBytes() int64 {
 	if p.MaxResponseBytes == 0 {
 		return DefaultMaxResponseBytes
 	}
 	return p.MaxResponseBytes
 }
 
-// Result is the outcome of a PostXML exchange.
+// Result is the outcome of a PostXML exchange. It is returned by
+// value: the exchange runs on the dispatch hot path, and the struct is
+// small enough that a heap allocation per call was measurable.
 type Result struct {
 	// Status is the final HTTP status code.
 	Status int
@@ -184,6 +211,122 @@ type Result struct {
 	Latency time.Duration
 }
 
+// ---------------------------------------------------------------------------
+// Pooled request state for PostXML
+
+// urlCacheMax bounds the parsed-URL cache. The middleware posts to a
+// small, known set of release endpoints; an unbounded caller-controlled
+// URL stream must not grow the cache forever, so past the cap URLs are
+// parsed fresh per call.
+const urlCacheMax = 1024
+
+var (
+	urlCache sync.Map // raw URL string → *url.URL (immutable once stored)
+	urlCount atomic.Int64
+)
+
+// cachedURL parses raw once and serves the immutable result from then
+// on. Callers must copy the value before mutating (pooledReq does).
+func cachedURL(raw string) (*url.URL, error) {
+	if v, ok := urlCache.Load(raw); ok {
+		return v.(*url.URL), nil
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	// Concurrent first parses of the same URL race to LoadOrStore; the
+	// losers give their capacity reservation back so racing goroutines
+	// cannot burn cap slots on a single key.
+	if urlCount.Add(1) > urlCacheMax {
+		urlCount.Add(-1)
+		return u, nil
+	}
+	if v, loaded := urlCache.LoadOrStore(raw, u); loaded {
+		urlCount.Add(-1)
+		return v.(*url.URL), nil
+	}
+	return u, nil
+}
+
+// reqBody is a resettable request body whose Close — which the
+// transport is contractually required to call once it is finished with
+// the reader, even on errors — records that the transport is done. The
+// recycle decision keys off that flag: a response can arrive (and
+// client.Do return) while the write side is still streaming the
+// request, and recycling the reader under an in-flight Read would be a
+// data race.
+type reqBody struct {
+	bytes.Reader
+	done atomic.Bool
+}
+
+func (b *reqBody) Close() error {
+	b.done.Store(true)
+	return nil
+}
+
+// pooledReq is the per-exchange request state PostXML recycles instead
+// of rebuilding via http.NewRequestWithContext on every attempt (the
+// URL parse, header map and body-reader wrappers dominated the fallback
+// transport's per-call allocations). The http.Request itself is still
+// materialized per attempt — WithContext demands a fresh shallow copy —
+// but everything it points at is reused.
+type pooledReq struct {
+	url     url.URL
+	body    reqBody
+	raw     []byte // the attempt's body bytes, for GetBody copies
+	header  http.Header
+	ctVal   [1]string // backing array of the Content-Type header value
+	getBody func() (io.ReadCloser, error)
+}
+
+var reqPool = sync.Pool{New: func() interface{} {
+	pr := &pooledReq{header: make(http.Header, 1)}
+	pr.header["Content-Type"] = pr.ctVal[:1]
+	pr.getBody = func() (io.ReadCloser, error) {
+		// A genuinely fresh reader per call: the transport asks for one
+		// when it replays the request on another connection, and the
+		// abandoned connection's write loop may still be draining the
+		// primary reader.
+		return io.NopCloser(bytes.NewReader(pr.raw)), nil
+	}
+	return pr
+}}
+
+// request arms the pooled state for one attempt and materializes the
+// per-attempt http.Request.
+func (pr *pooledReq) request(ctx context.Context, u *url.URL, contentType string, body []byte) *http.Request {
+	pr.url = *u
+	pr.raw = body
+	pr.body.Reset(body)
+	pr.body.done.Store(false)
+	pr.ctVal[0] = contentType
+	req := &http.Request{
+		Method:        http.MethodPost,
+		URL:           &pr.url,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        pr.header,
+		Body:          &pr.body,
+		GetBody:       pr.getBody,
+		ContentLength: int64(len(body)),
+	}
+	return req.WithContext(ctx)
+}
+
+// recycle returns the pooled state for reuse — but only once the
+// transport has closed the body, proving no write loop can still be
+// reading it. Otherwise the state is abandoned to the GC (rare: an
+// early response that outran the request write).
+func (pr *pooledReq) recycle() {
+	if pr.body.done.Load() {
+		pr.raw = nil
+		reqPool.Put(pr)
+	}
+}
+
 // PostXML posts an XML payload with retry of transient failures:
 // transport errors and (by default) 5xx statuses other than 500 are
 // retried with exponential backoff. HTTP 500 is NOT transient here — the
@@ -193,30 +336,33 @@ type Result struct {
 // The response body is read through a pooled buffer and bounded by the
 // policy's MaxResponseBytes; an oversized body fails with ErrTooLarge
 // without further attempts.
-func PostXML(ctx context.Context, client *http.Client, url, contentType string, body []byte, policy RetryPolicy) (*Result, error) {
+func PostXML(ctx context.Context, client *http.Client, url, contentType string, body []byte, policy RetryPolicy) (Result, error) {
 	if err := policy.Validate(); err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	if client == nil {
 		client = http.DefaultClient
 	}
-	maxBytes := policy.maxResponseBytes()
+	u, err := cachedURL(url)
+	if err != nil {
+		return Result{}, fmt.Errorf("httpx: building request: %w", err)
+	}
+	maxBytes := policy.EffectiveMaxResponseBytes()
 	start := time.Now()
 	var lastErr error
 	for attempt := 1; attempt <= policy.Attempts; attempt++ {
 		if attempt > 1 {
 			select {
 			case <-ctx.Done():
-				return nil, fmt.Errorf("httpx: cancelled during backoff: %w", ctx.Err())
-			case <-time.After(policy.backoffFor(attempt)):
+				return Result{}, fmt.Errorf("httpx: cancelled during backoff: %w", ctx.Err())
+			case <-time.After(policy.BackoffFor(attempt)):
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("httpx: building request: %w", err)
-		}
-		req.Header.Set("Content-Type", contentType)
-		resp, err := client.Do(req)
+		// The pooled state is recycled (see pooledReq.recycle) only when
+		// the transport has provably finished with the body; on error
+		// paths it is abandoned to the GC outright.
+		pr := reqPool.Get().(*pooledReq)
+		resp, err := client.Do(pr.request(ctx, u, contentType, body))
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -228,16 +374,18 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 		resp.Body.Close()
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
-				return nil, fmt.Errorf("httpx: POST %s: %w", url, err)
+				return Result{}, fmt.Errorf("httpx: POST %s: %w", url, err)
 			}
 			lastErr = err
 			continue
 		}
-		if policy.retryStatus(resp.StatusCode) && attempt < policy.Attempts {
+		if policy.ShouldRetryStatus(resp.StatusCode) && attempt < policy.Attempts {
 			lastErr = fmt.Errorf("httpx: transient HTTP %d from %s", resp.StatusCode, url)
+			pr.recycle()
 			continue
 		}
-		return &Result{
+		pr.recycle()
+		return Result{
 			Status:   resp.StatusCode,
 			Body:     data,
 			Header:   resp.Header,
@@ -245,7 +393,7 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 			Latency:  time.Since(start),
 		}, nil
 	}
-	return nil, fmt.Errorf("httpx: POST %s failed after retries: %w", url, lastErr)
+	return Result{}, fmt.Errorf("httpx: POST %s failed after retries: %w", url, lastErr)
 }
 
 // Instrumented wraps a RoundTripper and reports the latency and error of

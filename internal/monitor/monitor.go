@@ -53,6 +53,8 @@ type Observation struct {
 }
 
 // Record is one intercepted demand with all its release observations.
+// Note does not retain the Releases slice past its return: callers may
+// recycle it.
 type Record struct {
 	// Time is the interception timestamp.
 	Time time.Time `json:"time"`
@@ -389,7 +391,12 @@ func (r *logRing) add(rec Record) {
 	// slot must not clobber a newer record that lapped it.
 	if n > s.seq {
 		s.seq = n
+		// The observations are copied into the slot's own backing array
+		// (reused across laps), so the ring never retains — or aliases —
+		// a caller's slice, and callers may pool theirs.
+		releases := s.rec.Releases
 		s.rec = rec
+		s.rec.Releases = append(releases[:0], rec.Releases...)
 	}
 	s.mu.Unlock()
 }
@@ -405,7 +412,12 @@ func (r *logRing) snapshot() []Record {
 		s := &r.slots[i]
 		s.mu.Lock()
 		if s.seq != 0 {
-			entries = append(entries, entry{s.seq, s.rec})
+			e := entry{s.seq, s.rec}
+			// The slot's backing array is overwritten in place when the
+			// ring laps; the snapshot takes its own copy while the slot
+			// lock still protects it.
+			e.rec.Releases = append([]Observation(nil), s.rec.Releases...)
+			entries = append(entries, e)
 		}
 		s.mu.Unlock()
 	}

@@ -1,0 +1,48 @@
+// Package pool holds the small recycling primitives the request hot
+// path shares. They exist because the obvious sync.Pool idioms allocate
+// on exactly the path pooling is meant to clear: Put(&s) boxes a fresh
+// slice header per cycle, which the two-pool dance here avoids.
+package pool
+
+import "sync"
+
+// Slice recycles []T scratch slices with zero steady-state allocations
+// on either side of the cycle: the drained *[]T boxes travel in their
+// own pool, so Put refills one instead of boxing a fresh slice header.
+//
+// Put's caller owns the aliasing discipline: nothing may retain the
+// slice, and element references the caller cares about must be cleared
+// before Put (backing-array entries beyond the next user's length stay
+// reachable until overwritten).
+type Slice[T any] struct {
+	full  sync.Pool // *[]T boxes holding a recyclable slice
+	empty sync.Pool // drained boxes awaiting a slice
+}
+
+// Get returns a zero-length slice with capacity at least min. A pooled
+// slice whose capacity is too small is dropped in favour of a fresh
+// allocation, matching the grow-once shape of scratch buffers.
+func (p *Slice[T]) Get(min int) []T {
+	if bp, ok := p.full.Get().(*[]T); ok {
+		s := *bp
+		*bp = nil
+		p.empty.Put(bp)
+		if cap(s) >= min {
+			return s[:0]
+		}
+	}
+	if min < 8 {
+		min = 8
+	}
+	return make([]T, 0, min)
+}
+
+// Put recycles s for a future Get.
+func (p *Slice[T]) Put(s []T) {
+	bp, ok := p.empty.Get().(*[]T)
+	if !ok {
+		bp = new([]T)
+	}
+	*bp = s[:0]
+	p.full.Put(bp)
+}

@@ -1,0 +1,40 @@
+package pool
+
+import "testing"
+
+func TestSliceRoundTrip(t *testing.T) {
+	var p Slice[int]
+	s := p.Get(4)
+	if len(s) != 0 || cap(s) < 4 {
+		t.Fatalf("Get(4): len %d cap %d", len(s), cap(s))
+	}
+	s = append(s, 1, 2, 3)
+	p.Put(s)
+	s2 := p.Get(2)
+	if len(s2) != 0 {
+		t.Fatalf("recycled slice has len %d", len(s2))
+	}
+}
+
+func TestSliceGrowsPastSmallPooled(t *testing.T) {
+	var p Slice[byte]
+	p.Put(make([]byte, 0, 8))
+	s := p.Get(1024)
+	if cap(s) < 1024 {
+		t.Fatalf("cap = %d, want ≥1024", cap(s))
+	}
+}
+
+func TestSliceSteadyStateAllocFree(t *testing.T) {
+	var p Slice[int]
+	// Warm both pools.
+	p.Put(p.Get(16))
+	allocs := testing.AllocsPerRun(100, func() {
+		s := p.Get(16)
+		s = append(s, 42)
+		p.Put(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f/op", allocs)
+	}
+}

@@ -19,6 +19,7 @@ package soap
 import (
 	"bytes"
 	"encoding/xml"
+	"sync/atomic"
 )
 
 // SniffOperation extracts the invoked operation — the local name of the
@@ -106,7 +107,51 @@ func (s *sniffer) sniffBody() (bodyXML []byte, operation string, ok bool) {
 	if !tagOK || !isEnd || !bytes.Equal(name, s.envName) {
 		return nil, "", false
 	}
-	return s.data[innerStart:closeStart], string(local), true
+	return s.data[innerStart:closeStart], internName(local), true
+}
+
+// internName converts an operation's local name to a string through a
+// small interning cache: a service exposes a handful of operations, each
+// sniffed on every proxied request, and the per-request string copy was
+// measurable on the hot path. The cache is copy-on-write (reads are one
+// atomic load plus an allocation-free map lookup) and capped so
+// attacker-chosen operation names cannot grow it without bound — past
+// the cap, names fall back to a plain copy.
+const maxInterned = 256
+
+var interned atomic.Pointer[map[string]string]
+
+func internName(b []byte) string {
+	m := interned.Load()
+	if m != nil {
+		if s, ok := (*m)[string(b)]; ok { // no-alloc lookup
+			return s
+		}
+	}
+	s := string(b)
+	for {
+		old := interned.Load()
+		n := 0
+		if old != nil {
+			if cached, ok := (*old)[s]; ok {
+				return cached
+			}
+			n = len(*old)
+		}
+		if n >= maxInterned {
+			return s
+		}
+		next := make(map[string]string, n+1)
+		if old != nil {
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		next[s] = s
+		if interned.CompareAndSwap(old, &next) {
+			return s
+		}
+	}
 }
 
 // enterBody positions the scanner just after the Body start tag of a

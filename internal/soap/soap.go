@@ -209,9 +209,8 @@ func Envelope(payload interface{}, headers ...HeaderItem) ([]byte, error) {
 	return EnvelopeRaw(inner, headers...), nil
 }
 
-// EnvelopeRaw wraps pre-marshalled body XML into a SOAP envelope.
-func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
-	b := getBuf()
+// buildEnvelope renders the envelope into a scratch buffer.
+func buildEnvelope(b *bytes.Buffer, bodyXML []byte, headers []HeaderItem) {
 	b.WriteString(xml.Header)
 	b.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `">`)
 	if len(headers) > 0 {
@@ -224,7 +223,25 @@ func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
 	b.WriteString(`<soap:Body>`)
 	b.Write(bodyXML)
 	b.WriteString(`</soap:Body></soap:Envelope>`)
+}
+
+// EnvelopeRaw wraps pre-marshalled body XML into a SOAP envelope.
+func EnvelopeRaw(bodyXML []byte, headers ...HeaderItem) []byte {
+	b := getBuf()
+	buildEnvelope(b, bodyXML, headers)
 	return take(b)
+}
+
+// WriteEnvelopeRaw writes the envelope for pre-marshalled body XML
+// straight to w from a pooled buffer — the response-write path runs once
+// per proxied request, and EnvelopeRaw's caller-owned copy was
+// measurable there.
+func WriteEnvelopeRaw(w io.Writer, bodyXML []byte, headers ...HeaderItem) (int, error) {
+	b := getBuf()
+	buildEnvelope(b, bodyXML, headers)
+	n, err := w.Write(b.Bytes())
+	putBuf(b)
+	return n, err
 }
 
 // FaultEnvelope renders a fault as a complete SOAP envelope.

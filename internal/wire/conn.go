@@ -1,0 +1,650 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/textproto"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsupgrade/internal/httpx"
+)
+
+// aLongTimeAgo is the past deadline that poisons an in-flight read.
+var aLongTimeAgo = time.Unix(1, 0)
+
+// defaultDialer backs defaultDial when Options.Dial is nil.
+var defaultDialer = &net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}
+
+func defaultDial(ctx context.Context, network, addr string) (net.Conn, error) {
+	return defaultDialer.DialContext(ctx, network, addr)
+}
+
+// pool is one endpoint's persistent-connection pool plus its precomputed
+// request-head prefix.
+type pool struct {
+	c    *Client
+	addr string // dial target host:port
+	// prefix is the request head through "Content-Length: " — everything
+	// that never changes per call for this endpoint: method, target,
+	// Host, User-Agent and the Content-Type the pool was built with.
+	// Only the length digits, the blank line and the body follow it.
+	prefix []byte
+	ct     string // the Content-Type baked into prefix
+	// preCT/postCT rebuild the head around a different Content-Type for
+	// the rare call that passes one.
+	preCT, postCT string
+
+	mu     sync.Mutex
+	idle   []*conn // LIFO: the most recently used connection is hottest
+	closed bool
+}
+
+func newPool(c *Client, u *url.URL, contentType string) *pool {
+	addr := u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Hostname(), "80")
+	}
+	target := u.RequestURI()
+	if target == "" {
+		target = "/"
+	}
+	preCT := "POST " + target + " HTTP/1.1\r\nHost: " + u.Host +
+		"\r\nUser-Agent: wsupgrade-wire\r\nContent-Type: "
+	postCT := "\r\nContent-Length: "
+	return &pool{
+		c:      c,
+		addr:   addr,
+		prefix: []byte(preCT + contentType + postCT),
+		ct:     contentType,
+		preCT:  preCT,
+		postCT: postCT,
+	}
+}
+
+// get checks a connection out of the pool, dialing when none is idle.
+// fresh reports a newly dialed connection (its first exchange cannot be
+// a stale-keep-alive failure).
+func (p *pool) get(ctx context.Context) (cn *conn, fresh bool, err error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		cn = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return cn, false, nil
+	}
+	p.mu.Unlock()
+	cn, err = p.dial(ctx)
+	return cn, true, err
+}
+
+func (p *pool) dial(ctx context.Context) (*conn, error) {
+	nc, err := p.c.opts.Dial(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", p.addr, err)
+	}
+	cn := &conn{
+		nc:     nc,
+		br:     bufio.NewReaderSize(nc, 4096),
+		arm:    make(chan (<-chan struct{})),
+		disarm: make(chan struct{}),
+	}
+	go cn.watch()
+	return cn, nil
+}
+
+// put returns a healthy connection to the pool (or closes it when the
+// pool is full or closed).
+func (p *pool) put(cn *conn) {
+	cn.idleSince = time.Now()
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.c.opts.MaxIdlePerHost {
+		p.idle = append(p.idle, cn)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	cn.close()
+}
+
+// reapIdle closes every pooled connection idle since before cutoff and
+// reports how many survive. LIFO order means the stalest connections
+// sit at the front of the slice.
+func (p *pool) reapIdle(cutoff time.Time) int {
+	p.mu.Lock()
+	stale := 0
+	for stale < len(p.idle) && p.idle[stale].idleSince.Before(cutoff) {
+		stale++
+	}
+	expired := p.idle[:stale]
+	p.idle = append([]*conn(nil), p.idle[stale:]...)
+	n := len(p.idle)
+	p.mu.Unlock()
+	for _, cn := range expired {
+		cn.close()
+	}
+	return n
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
+}
+
+// do runs one exchange against the endpoint. A pooled connection that
+// fails before yielding any response byte is assumed to be a stale
+// keep-alive (the peer closed it while it sat idle) and is transparently
+// replaced by a fresh dial without consuming a retry attempt — matching
+// net/http, which re-dials retriable requests internally.
+func (p *pool) do(ctx context.Context, contentType string, body []byte, maxBytes int64) (status int, data []byte, hdr http.Header, err error) {
+	cn, fresh, err := p.get(ctx)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	res := p.exchange(ctx, cn, contentType, body, maxBytes)
+	if res.err != nil && !fresh && !res.gotResponse && ctx.Err() == nil {
+		cn2, derr := p.dial(ctx)
+		if derr != nil {
+			return 0, nil, nil, res.err
+		}
+		res = p.exchange(ctx, cn2, contentType, body, maxBytes)
+	}
+	return res.status, res.body, res.header, res.err
+}
+
+// exchangeResult carries one exchange's outcome.
+type exchangeResult struct {
+	status      int
+	body        []byte
+	header      http.Header
+	gotResponse bool // a full status line arrived
+	err         error
+}
+
+// exchange writes one request on cn and reads the response. It owns the
+// connection's fate: healthy and fully drained → pooled; anything else →
+// closed.
+func (p *pool) exchange(ctx context.Context, cn *conn, contentType string, body []byte, maxBytes int64) (res exchangeResult) {
+	// Deadline: the context's, with the client Timeout as backstop.
+	dl, ok := ctx.Deadline()
+	if !ok && p.c.opts.Timeout > 0 {
+		dl = time.Now().Add(p.c.opts.Timeout)
+		ok = true
+	}
+	if ok {
+		_ = cn.nc.SetDeadline(dl)
+	} else {
+		_ = cn.nc.SetDeadline(time.Time{})
+	}
+
+	armed := cn.armCancel(ctx.Done())
+	reuse := false
+	defer func() {
+		if armed {
+			cn.disarmCancel()
+		}
+		// Read the poison flag only after disarming: past that point the
+		// watcher is parked and cannot set it for THIS exchange anymore.
+		if reuse && res.err == nil && !cn.poisoned.Load() {
+			p.put(cn)
+		} else {
+			cn.close()
+		}
+		if res.err != nil {
+			// Surface the cancellation cause so errors.Is(err,
+			// context.Canceled/DeadlineExceeded) holds, as with net/http.
+			// The conn deadline and the context's own timer race by a few
+			// microseconds, so an expired deadline whose context has not
+			// ticked yet is mapped explicitly.
+			var ne net.Error
+			switch {
+			case ctx.Err() != nil:
+				res.err = fmt.Errorf("wire: POST exchange: %w", ctx.Err())
+			case ok && !time.Now().Before(dl) && errors.As(res.err, &ne) && ne.Timeout():
+				res.err = fmt.Errorf("wire: POST exchange: %w", context.DeadlineExceeded)
+			}
+		}
+	}()
+
+	if err := cn.writeRequest(p, contentType, body); err != nil {
+		res.err = fmt.Errorf("wire: writing request: %w", err)
+		return res
+	}
+	status, data, hdr, reusable, err := cn.readResponse(maxBytes)
+	res.gotResponse = cn.sawStatusLine
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.status = status
+	res.body = data
+	res.header = hdr
+	reuse = reusable
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+
+// conn is one persistent HTTP/1.1 connection with all per-exchange
+// scratch state reused across calls.
+type conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wbuf     []byte      // request write scratch
+	lineBuf  []byte      // long-line overflow scratch
+	hdrBuf   []byte      // raw response header block (current exchange)
+	bodyBuf  []byte      // chunked-body accumulation scratch
+	lastRaw  []byte      // previous exchange's raw header block
+	lastHdr  http.Header // parsed form of lastRaw, reused on byte-equal blocks
+	poisoned atomic.Bool
+
+	// lineBudget is the remaining header-section byte budget of the
+	// response being read; see maxHeaderBytes.
+	lineBudget int
+	// idleSince stamps the moment the connection entered the idle pool;
+	// the client's janitor closes connections idle past IdleTimeout.
+	idleSince time.Time
+
+	sawStatusLine bool
+
+	// The cancellation watcher: arm carries the exchange context's Done
+	// channel; disarm ends the watch. Both are unbuffered — the watcher
+	// goroutine lives as long as the connection, so arming is two
+	// rendezvous channel operations, never an allocation or a spawn.
+	arm    chan (<-chan struct{})
+	disarm chan struct{}
+
+	closeOnce sync.Once
+}
+
+func (c *conn) watch() {
+	for done := range c.arm {
+		select {
+		case <-done:
+			c.poisoned.Store(true)
+			_ = c.nc.SetDeadline(aLongTimeAgo)
+			<-c.disarm
+		case <-c.disarm:
+		}
+	}
+}
+
+// armCancel starts cancellation propagation for one exchange; it
+// reports whether disarmCancel must be called.
+func (c *conn) armCancel(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	c.arm <- done
+	return true
+}
+
+func (c *conn) disarmCancel() { c.disarm <- struct{}{} }
+
+// close shuts the connection and its watcher down. Must not be called
+// while an exchange is armed.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		_ = c.nc.Close()
+		close(c.arm)
+	})
+}
+
+// largeBodyThreshold: request bodies above it are written in a second
+// syscall instead of being copied into the head buffer.
+const largeBodyThreshold = 8 << 10
+
+// maxConnScratch caps the per-connection scratch buffers a giant
+// message may have grown; larger ones are dropped so an outlier does
+// not pin memory for the connection's lifetime.
+const maxConnScratch = 64 << 10
+
+func (c *conn) writeRequest(p *pool, contentType string, body []byte) error {
+	b := c.wbuf[:0]
+	if contentType == p.ct {
+		b = append(b, p.prefix...)
+	} else {
+		b = append(b, p.preCT...)
+		b = append(b, contentType...)
+		b = append(b, p.postCT...)
+	}
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, '\r', '\n', '\r', '\n')
+	small := len(body) <= largeBodyThreshold
+	if small {
+		b = append(b, body...)
+	}
+	if cap(b) <= maxConnScratch {
+		c.wbuf = b[:0]
+	}
+	if _, err := c.nc.Write(b); err != nil {
+		return err
+	}
+	if !small {
+		if _, err := c.nc.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxHeaderBytes bounds one response's whole non-body line section —
+// status lines, headers, chunk-size lines and trailers. A release
+// streaming endless header lines (or one never-terminated line) must
+// exhaust this budget, not the mediator's memory: the body direction is
+// bounded by RetryPolicy.MaxResponseBytes, and this is the header-side
+// counterpart of net/http's MaxResponseHeaderBytes.
+const maxHeaderBytes = 1 << 20
+
+// errHeaderTooLarge reports a response whose header section exceeds
+// maxHeaderBytes; the connection is unusable (mid-line) and is closed.
+var errHeaderTooLarge = errors.New("wire: response header section exceeds limit")
+
+// readLine returns the next CRLF-terminated line (without the
+// terminator), valid until the next read on the connection. Every line
+// draws on c.lineBudget, reset per response by readResponse.
+func (c *conn) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err == nil {
+		if c.lineBudget -= len(line); c.lineBudget < 0 {
+			return nil, errHeaderTooLarge
+		}
+		return trimCRLF(line), nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	// Header line longer than the read buffer: spill into lineBuf.
+	buf := append(c.lineBuf[:0], line...)
+	for {
+		if c.lineBudget -= len(line); c.lineBudget < 0 {
+			return nil, errHeaderTooLarge
+		}
+		line, err = c.br.ReadSlice('\n')
+		buf = append(buf, line...)
+		if err == nil {
+			if c.lineBudget -= len(line); c.lineBudget < 0 {
+				return nil, errHeaderTooLarge
+			}
+			if cap(buf) <= maxConnScratch {
+				c.lineBuf = buf[:0]
+			}
+			return trimCRLF(buf), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+func trimCRLF(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+		if n > 1 && b[n-2] == '\r' {
+			b = b[:n-2]
+		}
+	}
+	return b
+}
+
+// maxInterimResponses bounds the 1xx responses skipped before the final
+// status, so a misbehaving peer cannot hold an exchange in a loop.
+const maxInterimResponses = 5
+
+// readResponse parses one response. reusable reports whether the
+// connection may serve another exchange. body is a caller-owned copy;
+// hdr may be shared with earlier responses on this connection (see
+// setHeader) and is read-only.
+func (c *conn) readResponse(maxBytes int64) (status int, body []byte, hdr http.Header, reusable bool, err error) {
+	c.sawStatusLine = false
+	c.lineBudget = maxHeaderBytes
+	var proto11, connClose, chunked bool
+	contentLength := int64(-1)
+	for interim := 0; ; interim++ {
+		// Status line; 1xx interim responses are skipped.
+		line, err := c.readLine()
+		if err != nil {
+			return 0, nil, nil, false, fmt.Errorf("wire: reading status line: %w", err)
+		}
+		status, proto11, err = parseStatusLine(line)
+		if err != nil {
+			return 0, nil, nil, false, err
+		}
+		c.sawStatusLine = true
+
+		// Header block: accumulated raw for the cache comparison, with
+		// the three framing-relevant headers parsed on the way.
+		hdrRaw := c.hdrBuf[:0]
+		connClose, chunked, contentLength = false, false, int64(-1)
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return 0, nil, nil, false, fmt.Errorf("wire: reading header: %w", err)
+			}
+			if len(line) == 0 {
+				break
+			}
+			hdrRaw = append(hdrRaw, line...)
+			hdrRaw = append(hdrRaw, '\n')
+			key, val, ok := cutHeaderLine(line)
+			if !ok {
+				return 0, nil, nil, false, fmt.Errorf("wire: malformed header line %q", line)
+			}
+			switch {
+			case asciiEqualFold(key, "content-length"):
+				n, perr := strconv.ParseInt(string(bytes.TrimSpace(val)), 10, 64)
+				if perr != nil || n < 0 {
+					return 0, nil, nil, false, fmt.Errorf("wire: bad Content-Length %q", val)
+				}
+				contentLength = n
+			case asciiEqualFold(key, "transfer-encoding"):
+				chunked = asciiEqualFold(bytes.TrimSpace(val), "chunked")
+			case asciiEqualFold(key, "connection"):
+				connClose = asciiEqualFold(bytes.TrimSpace(val), "close")
+			}
+		}
+		if cap(hdrRaw) <= maxConnScratch {
+			c.hdrBuf = hdrRaw[:0]
+		}
+		if status >= 200 {
+			hdr = c.header(hdrRaw)
+			break
+		}
+		if interim >= maxInterimResponses {
+			return 0, nil, nil, false, fmt.Errorf("wire: too many interim responses")
+		}
+		// 1xx interim: the next status line follows.
+	}
+
+	keepAlive := proto11 && !connClose
+
+	// Body framing per RFC 7230 §3.3.3 (the subset a release can send).
+	switch {
+	case status == http.StatusNoContent || status == http.StatusNotModified:
+		body = emptyBody
+	case chunked:
+		if body, err = c.readChunkedBody(maxBytes); err != nil {
+			return 0, nil, nil, false, err
+		}
+	case contentLength >= 0:
+		if contentLength > maxBytes {
+			return 0, nil, nil, false, fmt.Errorf("wire: response of %d bytes: %w", contentLength, httpx.ErrTooLarge)
+		}
+		if contentLength == 0 {
+			body = emptyBody
+			break
+		}
+		// The declared length already passed the bound check, so an
+		// exact read enforces it without further plumbing.
+		body = make([]byte, contentLength)
+		if _, err := io.ReadFull(c.br, body); err != nil {
+			return 0, nil, nil, false, fmt.Errorf("wire: reading body: %w", err)
+		}
+	default:
+		// No explicit framing: the body runs to connection close.
+		keepAlive = false
+		var err error
+		if body, err = httpx.ReadBounded(c.br, maxBytes); err != nil {
+			return 0, nil, nil, false, fmt.Errorf("wire: reading body: %w", err)
+		}
+	}
+	return status, body, hdr, keepAlive, nil
+}
+
+// emptyBody is the shared zero-length body, so empty responses do not
+// allocate.
+var emptyBody = []byte{}
+
+// header exposes the response headers, reusing the previous parsed map
+// whenever the raw header block is byte-identical to the previous
+// exchange's — the steady state on a release connection, where only the
+// payload varies call to call. The returned map is therefore shared and
+// read-only by contract.
+func (c *conn) header(raw []byte) http.Header {
+	if c.lastHdr != nil && bytes.Equal(raw, c.lastRaw) {
+		return c.lastHdr
+	}
+	hdr := make(http.Header)
+	rest := raw
+	for len(rest) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			line, rest = rest, nil
+		}
+		key, val, ok := cutHeaderLine(line)
+		if !ok {
+			continue
+		}
+		ck := textproto.CanonicalMIMEHeaderKey(string(key))
+		hdr[ck] = append(hdr[ck], string(bytes.TrimSpace(val)))
+	}
+	c.lastRaw = append(c.lastRaw[:0], raw...)
+	c.lastHdr = hdr
+	return hdr
+}
+
+// readChunkedBody decodes a chunked transfer coding, bounded by max.
+func (c *conn) readChunkedBody(max int64) ([]byte, error) {
+	buf := c.bodyBuf[:0]
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, fmt.Errorf("wire: reading chunk size: %w", err)
+		}
+		if i := bytes.IndexByte(line, ';'); i >= 0 {
+			line = line[:i] // chunk extensions are ignored
+		}
+		size, err := strconv.ParseInt(string(bytes.TrimSpace(line)), 16, 63)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("wire: bad chunk size %q", line)
+		}
+		if size == 0 {
+			break
+		}
+		if int64(len(buf))+size > max {
+			return nil, fmt.Errorf("wire: chunked response: %w", httpx.ErrTooLarge)
+		}
+		n := len(buf)
+		buf = grow(buf, int(size))
+		if _, err := io.ReadFull(c.br, buf[n:n+int(size)]); err != nil {
+			return nil, fmt.Errorf("wire: reading chunk: %w", err)
+		}
+		crlf, err := c.readLine()
+		if err != nil || len(crlf) != 0 {
+			return nil, fmt.Errorf("wire: missing chunk terminator")
+		}
+	}
+	// Trailers (discarded) run to the blank line.
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, fmt.Errorf("wire: reading trailers: %w", err)
+		}
+		if len(line) == 0 {
+			break
+		}
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	if cap(buf) <= maxConnScratch {
+		c.bodyBuf = buf[:0]
+	}
+	return out, nil
+}
+
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// parseStatusLine parses "HTTP/1.x NNN reason".
+func parseStatusLine(line []byte) (status int, proto11 bool, err error) {
+	switch {
+	case bytes.HasPrefix(line, []byte("HTTP/1.1 ")):
+		proto11 = true
+	case bytes.HasPrefix(line, []byte("HTTP/1.0 ")):
+	default:
+		return 0, false, fmt.Errorf("wire: malformed status line %q", line)
+	}
+	rest := line[9:]
+	if len(rest) < 3 {
+		return 0, false, fmt.Errorf("wire: malformed status line %q", line)
+	}
+	for _, d := range rest[:3] {
+		if d < '0' || d > '9' {
+			return 0, false, fmt.Errorf("wire: malformed status line %q", line)
+		}
+		status = status*10 + int(d-'0')
+	}
+	return status, proto11, nil
+}
+
+// cutHeaderLine splits "Key: value".
+func cutHeaderLine(line []byte) (key, val []byte, ok bool) {
+	i := bytes.IndexByte(line, ':')
+	if i <= 0 {
+		return nil, nil, false
+	}
+	return line[:i], line[i+1:], true
+}
+
+// asciiEqualFold reports ASCII case-insensitive equality of b against
+// the lower-case reference string, without allocating.
+func asciiEqualFold(b []byte, lower string) bool {
+	if len(b) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}

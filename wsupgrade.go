@@ -44,6 +44,7 @@ import (
 	"wsupgrade/internal/soap"
 	"wsupgrade/internal/stats"
 	"wsupgrade/internal/upgsim"
+	"wsupgrade/internal/wire"
 	"wsupgrade/internal/wsdl"
 )
 
@@ -124,11 +125,27 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 // MaxResponseBytes.
 type RetryPolicy = httpx.RetryPolicy
 
+// WireClient is the lean HTTP/1.1 release-call transport the engine
+// uses by default: per-endpoint persistent connection pools, pooled
+// request/response state, precomputed header prefixes, and bounded
+// reads — see internal/wire. Engines and fleets build their own unless
+// EngineConfig.Wire injects a shared one; EngineConfig.HTTP or
+// EngineConfig.UseNetHTTP selects the net/http path instead (TLS,
+// proxies, exotic transports).
+type WireClient = wire.Client
+
+// WireOptions parameterizes a WireClient.
+type WireOptions = wire.Options
+
+// NewWireClient builds a wire transport, e.g. to share one connection
+// pool across several independently constructed engines.
+func NewWireClient(opts WireOptions) *WireClient { return wire.NewClient(opts) }
+
 // NewPooledClient returns an HTTP client whose transport is tuned for
 // the middleware's traffic shape: keep-alive fan-out to a small set of
 // release hosts. The engine builds one automatically when
-// EngineConfig.HTTP is nil; it is exported for consumers that want the
-// same pooling toward the proxy itself.
+// EngineConfig.UseNetHTTP is set; it is exported for consumers that
+// want the same pooling toward the proxy itself.
 func NewPooledClient(timeout time.Duration, hosts int) *http.Client {
 	return httpx.NewPooledClient(timeout, hosts)
 }
