@@ -6,15 +6,15 @@
 # `make bench-baseline` after an intentional change and commit it.
 
 GO        ?= go
-BENCH     ?= EngineInProcess|FleetInProcess
+BENCH     ?= EngineInProcess|FleetInProcess|OracleJudge|MonitorNote
 COUNT     ?= 5
 BENCHTIME ?= 1000x
-GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInProcess/fleet-routed
+GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInProcess/fleet-routed,MonitorNote/interned,OracleJudge/fault-only,OracleJudge/header-truth,OracleJudge/reference(1.0),OracleJudge/back-to-back,OracleJudge/omission
 
 .PHONY: test vet bench bench-run bench-baseline clean-bench
 
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 vet:
 	$(GO) vet ./...

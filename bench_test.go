@@ -489,6 +489,12 @@ const (
 	viaNetHTTP                       // fallback path: net/http client over a stub RoundTripper
 )
 
+// benchLogCapacity bounds the in-process engines' event-log ring. The
+// ring allocates per-slot backing on its first lap only, so steady-state
+// measurement needs the warm-up drive (below) to lap it once; a small
+// capacity keeps that warm-up cheap.
+const benchLogCapacity = 256
+
 // newInProcessEngine builds an engine over n stub releases, starting in
 // the given lifecycle phase (the lifecycle guards reject backward
 // transitions, so benchmarks start where they measure).
@@ -506,6 +512,7 @@ func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase,
 		Mode:         mode,
 		Quorum:       quorum,
 		InitialPhase: phase,
+		Monitor:      NewMonitor(monitor.WithLogCapacity(benchLogCapacity)),
 	}
 	switch via {
 	case viaWire:
@@ -525,23 +532,76 @@ func newInProcessEngine(b *testing.B, n int, mode Mode, quorum int, phase Phase,
 	return engine
 }
 
-// driveInProcess pushes requests straight into the engine's handler.
-func driveInProcess(b *testing.B, engine *Engine) {
+// benchRecorder is a minimal reusable http.ResponseWriter: the header
+// map, body buffer and status survive across requests (reset per
+// iteration), so the drive loop measures the engine's own per-request
+// cost instead of httptest.NewRecorder's fresh maps and the header clone
+// its WriteHeader takes. The engine assigns shared header value slices,
+// so reusing the map is safe.
+type benchRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func newBenchRecorder() *benchRecorder { return &benchRecorder{header: make(http.Header)} }
+
+func (r *benchRecorder) Header() http.Header         { return r.header }
+func (r *benchRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *benchRecorder) WriteHeader(code int)        { r.code = code }
+func (r *benchRecorder) reset()                      { r.body.Reset(); r.code = 0 }
+
+// resetBody is a reusable request body: a bytes.Reader with a no-op
+// Close, rewound per iteration.
+type resetBody struct{ bytes.Reader }
+
+func (*resetBody) Close() error { return nil }
+
+// inProcessDriver drives requests straight into a handler with a
+// steady-state harness: one pooled request whose body is rewound, one
+// reusable recorder.
+type inProcessDriver struct {
+	req  *http.Request
+	body *resetBody
+	env  []byte
+	rec  *benchRecorder
+}
+
+func newInProcessDriver(b *testing.B, payload interface{}, path string) *inProcessDriver {
 	b.Helper()
-	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})
+	env, err := soap.Envelope(payload)
 	if err != nil {
 		b.Fatal(err)
+	}
+	d := &inProcessDriver{env: env, body: &resetBody{}, rec: newBenchRecorder()}
+	d.req = httptest.NewRequest(http.MethodPost, path, nil)
+	d.req.Header.Set("Content-Type", soap.ContentType)
+	d.req.Body = d.body
+	return d
+}
+
+func (d *inProcessDriver) do(b *testing.B, h http.Handler) {
+	d.body.Reset(d.env)
+	d.rec.reset()
+	h.ServeHTTP(d.rec, d.req)
+	if d.rec.code != http.StatusOK {
+		b.Fatalf("HTTP %d: %s", d.rec.code, d.rec.body.String())
+	}
+}
+
+// driveInProcess measures steady state: the warm-up laps the monitor's
+// event-log ring (whose slots allocate their backing exactly once) and
+// fills the reply/context/fan-out/verdict pools before the timer starts.
+func driveInProcess(b *testing.B, engine *Engine) {
+	b.Helper()
+	d := newInProcessDriver(b, service.AddRequest{A: 2, B: 1}, "/")
+	for i := 0; i < benchLogCapacity+64; i++ {
+		d.do(b, engine)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(reqEnv))
-		req.Header.Set("Content-Type", soap.ContentType)
-		rec := httptest.NewRecorder()
-		engine.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
-		}
+		d.do(b, engine)
 	}
 }
 
@@ -608,24 +668,19 @@ func BenchmarkFleetInProcess(b *testing.B) {
 			},
 			InitialPhase: PhaseOldOnly,
 			Dial:         stub.dial,
+			Monitor:      NewMonitor(monitor.WithLogCapacity(benchLogCapacity)),
 		}
-	}
-	reqEnv, err := soap.Envelope(service.AddRequest{A: 2, B: 1})
-	if err != nil {
-		b.Fatal(err)
 	}
 	drive := func(b *testing.B, h http.Handler, path string) {
 		b.Helper()
+		d := newInProcessDriver(b, service.AddRequest{A: 2, B: 1}, path)
+		for i := 0; i < benchLogCapacity+64; i++ {
+			d.do(b, h)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(reqEnv))
-			req.Header.Set("Content-Type", soap.ContentType)
-			rec := httptest.NewRecorder()
-			h.ServeHTTP(rec, req)
-			if rec.Code != http.StatusOK {
-				b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
-			}
+			d.do(b, h)
 		}
 	}
 
@@ -650,11 +705,12 @@ func BenchmarkFleetInProcess(b *testing.B) {
 	})
 }
 
-// BenchmarkMonitorNoteParallel measures the monitoring subsystem's write
-// path under concurrent recorders — every dispatched request ends in a
-// Note call, so this must not become the serialization point.
-func BenchmarkMonitorNoteParallel(b *testing.B) {
-	m := monitor.New()
+// benchNoteRecord builds the canonical two-release record Note
+// benchmarks drive, against a monitor with a warm (already lapped)
+// event-log ring. interned selects whether the observations carry the
+// monitor's pre-interned dense indices — the dispatch hot path's shape —
+// or plain names resolved per observation.
+func benchNoteRecord(m *monitor.Monitor, interned bool) monitor.Record {
 	rec := monitor.Record{
 		Operation: "add",
 		Winner:    "1.1",
@@ -664,6 +720,24 @@ func BenchmarkMonitorNoteParallel(b *testing.B) {
 			{Release: "1.1", Responded: true, Judged: true, Latency: 2 * time.Millisecond},
 		},
 	}
+	if interned {
+		for i := range rec.Releases {
+			rec.Releases[i].ID = m.Intern(rec.Releases[i].Release)
+		}
+	}
+	for i := 0; i < benchLogCapacity+64; i++ {
+		m.Note(rec)
+	}
+	return rec
+}
+
+// BenchmarkMonitorNoteParallel measures the monitoring subsystem's write
+// path under concurrent recorders — every dispatched request ends in a
+// Note call, so this must not become the serialization point.
+func BenchmarkMonitorNoteParallel(b *testing.B) {
+	m := monitor.New(monitor.WithLogCapacity(benchLogCapacity))
+	rec := benchNoteRecord(m, true)
+	before := m.Joint().N
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -671,27 +745,77 @@ func BenchmarkMonitorNoteParallel(b *testing.B) {
 			m.Note(rec)
 		}
 	})
-	if got := m.Joint().N; got != b.N {
-		b.Fatalf("joint N = %d, want %d", got, b.N)
+	if got := m.Joint().N - before; got != b.N {
+		b.Fatalf("joint N grew %d, want %d", got, b.N)
 	}
 }
 
-// BenchmarkMonitorNote measures the single-threaded write path cost.
+// BenchmarkMonitorNote measures the single-threaded write path cost in
+// steady state: interned is the dispatch hot path's shape (observations
+// carry dense release indices), by-name resolves each observation
+// through the lock-free interner map.
 func BenchmarkMonitorNote(b *testing.B) {
-	m := monitor.New()
-	rec := monitor.Record{
-		Operation: "add",
-		Winner:    "1.1",
-		Joint:     bayes.NeitherFails,
-		Releases: []monitor.Observation{
-			{Release: "1.0", Responded: true, Judged: true, Latency: 3 * time.Millisecond},
-			{Release: "1.1", Responded: true, Judged: true, Latency: 2 * time.Millisecond},
-		},
+	for _, tc := range []struct {
+		name     string
+		interned bool
+	}{
+		{"interned", true},
+		{"by-name", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := monitor.New(monitor.WithLogCapacity(benchLogCapacity))
+			rec := benchNoteRecord(m, tc.interned)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Note(rec)
+			}
+		})
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Note(rec)
+}
+
+// BenchmarkOracleJudge measures the per-demand judge cost of every
+// oracle over a three-release reply set (agreeing releases — the steady
+// state) through the caller-buffer JudgeInto API. The gate holds each
+// oracle at zero steady-state allocations.
+func BenchmarkOracleJudge(b *testing.B) {
+	hdr := http.Header{}
+	hdr.Set(oracle.InjectionHeader, "CR")
+	replies := []adjudicate.Reply{
+		{Release: "1.0", Body: []byte("<addResponse><sum>3</sum></addResponse>"), Header: hdr, Latency: 3 * time.Millisecond},
+		{Release: "1.1", Body: []byte("<addResponse><sum>3</sum></addResponse>"), Header: hdr, Latency: 2 * time.Millisecond},
+		{Release: "1.2", Body: []byte("<addResponse><sum>3</sum></addResponse>"), Header: hdr, Latency: 4 * time.Millisecond},
+	}
+	omission, err := oracle.NewWithOmission(oracle.Header{}, 0.05, xrand.New(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sub-benchmark labels stay comma-free so every entry can join the
+	// benchgate -keys list (omission's Name() contains a comma).
+	for _, tc := range []struct {
+		name string
+		o    oracle.Oracle
+	}{
+		{"fault-only", oracle.FaultOnly{}},
+		{"header-truth", oracle.Header{}},
+		{"reference(1.0)", oracle.Reference{Release: "1.0"}},
+		{"back-to-back", oracle.BackToBack{}},
+		{"omission", omission},
+	} {
+		o := tc.o
+		b.Run(tc.name, func(b *testing.B) {
+			buf := make([]bool, 0, len(replies))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				failed := o.JudgeInto(buf, "add", replies)
+				for _, f := range failed {
+					if f {
+						b.Fatal("steady-state corpus judged failed")
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -20,9 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"time"
 
+	"wsupgrade/internal/pool"
 	"wsupgrade/internal/relmodel"
 	"wsupgrade/internal/xrand"
 )
@@ -69,16 +69,25 @@ func Kinds(collected []relmodel.OutcomeKind, rng *xrand.Rand) KindVerdict {
 	if len(collected) == 0 {
 		return KindVerdict{Unavailable: true}
 	}
-	valid := collected[:0:0]
+	nvalid := 0
 	for _, k := range collected {
 		if k != relmodel.EvidentFailure {
-			valid = append(valid, k)
+			nvalid++
 		}
 	}
-	if len(valid) == 0 {
+	if nvalid == 0 {
 		return KindVerdict{Outcome: relmodel.EvidentFailure}
 	}
-	return KindVerdict{Outcome: valid[rng.Intn(len(valid))]}
+	pick := rng.Intn(nvalid)
+	for _, k := range collected {
+		if k != relmodel.EvidentFailure {
+			if pick == 0 {
+				return KindVerdict{Outcome: k}
+			}
+			pick--
+		}
+	}
+	return KindVerdict{Outcome: relmodel.EvidentFailure} // unreachable
 }
 
 // ---------------------------------------------------------------------------
@@ -125,15 +134,23 @@ var _ Adjudicator = RandomValid{}
 
 // Adjudicate implements Adjudicator.
 func (RandomValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
-	valid := validOf(replies)
+	nvalid := countValid(replies)
 	switch {
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
-	case len(valid) == 0:
+	case nvalid == 0:
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
-	default:
-		return valid[rng.Intn(len(valid))], nil
 	}
+	pick := rng.Intn(nvalid)
+	for i := range replies {
+		if replies[i].Valid() {
+			if pick == 0 {
+				return replies[i], nil
+			}
+			pick--
+		}
+	}
+	return Reply{}, ErrNoResponses // unreachable
 }
 
 // Name implements Adjudicator.
@@ -149,43 +166,69 @@ type Majority struct{}
 
 var _ Adjudicator = Majority{}
 
+// group is Majority's payload-equality bucket. The scratch slices are
+// pooled (see groupScratch): voting allocates nothing in steady state.
+type group struct {
+	rep  Reply
+	size int
+}
+
+// groupScratch recycles Majority's per-call group buckets. A slice is
+// recycled with every element zeroed so pooled buckets never retain a
+// reply's body or header past the call.
+var groupScratch pool.Slice[group]
+
 // Adjudicate implements Adjudicator.
 func (Majority) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
-	valid := validOf(replies)
+	nvalid := countValid(replies)
 	switch {
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
-	case len(valid) == 0:
+	case nvalid == 0:
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
 	}
-	type group struct {
-		rep  Reply
-		size int
-	}
-	var groups []group
+	groups := groupScratch.Get(len(replies))
 next:
-	for _, r := range valid {
-		for i := range groups {
-			if bytes.Equal(groups[i].rep.Body, r.Body) {
-				groups[i].size++
+	for i := range replies {
+		if !replies[i].Valid() {
+			continue
+		}
+		for j := range groups {
+			if bytes.Equal(groups[j].rep.Body, replies[i].Body) {
+				groups[j].size++
 				continue next
 			}
 		}
-		groups = append(groups, group{rep: r, size: 1})
+		groups = append(groups, group{rep: replies[i], size: 1})
 	}
 	best := 0
-	for _, g := range groups {
-		if g.size > best {
-			best = g.size
+	for i := range groups {
+		if groups[i].size > best {
+			best = groups[i].size
 		}
 	}
-	tied := groups[:0:0]
-	for _, g := range groups {
-		if g.size == best {
-			tied = append(tied, g)
+	tied := 0
+	for i := range groups {
+		if groups[i].size == best {
+			tied++
 		}
 	}
-	return tied[rng.Intn(len(tied))].rep, nil
+	pick := rng.Intn(tied)
+	var winner Reply
+	for i := range groups {
+		if groups[i].size == best {
+			if pick == 0 {
+				winner = groups[i].rep
+				break
+			}
+			pick--
+		}
+	}
+	for i := range groups {
+		groups[i] = group{} // drop body/header references before pooling
+	}
+	groupScratch.Put(groups)
+	return winner, nil
 }
 
 // Name implements Adjudicator.
@@ -200,20 +243,33 @@ var _ Adjudicator = FastestValid{}
 
 // Adjudicate implements Adjudicator.
 func (FastestValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
-	valid := validOf(replies)
+	// A single min-scan: only the fastest reply is delivered, so sorting
+	// (and the valid-subset scratch it needed) is wasted work.
+	best := -1
+	for i := range replies {
+		if !replies[i].Valid() {
+			continue
+		}
+		if best < 0 || faster(&replies[i], &replies[best]) {
+			best = i
+		}
+	}
 	switch {
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
-	case len(valid) == 0:
+	case best < 0:
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
 	}
-	sort.Slice(valid, func(i, j int) bool {
-		if valid[i].Latency != valid[j].Latency {
-			return valid[i].Latency < valid[j].Latency
-		}
-		return valid[i].Release < valid[j].Release
-	})
-	return valid[0], nil
+	return replies[best], nil
+}
+
+// faster orders replies by latency, ties broken deterministically by
+// release name.
+func faster(a, b *Reply) bool {
+	if a.Latency != b.Latency {
+		return a.Latency < b.Latency
+	}
+	return a.Release < b.Release
 }
 
 // Name implements Adjudicator.
@@ -247,12 +303,12 @@ func (p Preferred) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 // Name implements Adjudicator.
 func (p Preferred) Name() string { return "preferred(" + p.Release + ")" }
 
-func validOf(replies []Reply) []Reply {
-	valid := replies[:0:0]
-	for _, r := range replies {
-		if r.Valid() {
-			valid = append(valid, r)
+func countValid(replies []Reply) int {
+	n := 0
+	for i := range replies {
+		if replies[i].Valid() {
+			n++
 		}
 	}
-	return valid
+	return n
 }

@@ -365,7 +365,19 @@ func New(cfg Config) (*Engine, error) {
 		adjudic: cfg.Adjudicator,
 		oracle:  cfg.Oracle,
 	}
+	// The monitor exists before the first state publication: every
+	// published state carries its releases' interned monitor indices.
+	if cfg.Monitor != nil {
+		e.mon = cfg.Monitor
+	} else {
+		opts := []monitor.Option{}
+		if cfg.Store != nil {
+			opts = append(opts, monitor.WithSink(cfg.Store))
+		}
+		e.mon = monitor.New(opts...)
+	}
 	releases := append([]Endpoint(nil), cfg.Releases...)
+	e.internReleases(releases)
 	e.state.Store(&engineState{
 		releases:  releases,
 		phase:     cfg.InitialPhase,
@@ -425,15 +437,6 @@ func New(cfg Config) (*Engine, error) {
 			e.contractOps[op.Name] = true
 		}
 	}
-	if cfg.Monitor != nil {
-		e.mon = cfg.Monitor
-	} else {
-		opts := []monitor.Option{}
-		if cfg.Store != nil {
-			opts = append(opts, monitor.WithSink(cfg.Store))
-		}
-		e.mon = monitor.New(opts...)
-	}
 	if cfg.Inference != nil {
 		wb, err := bayes.NewWhiteBox(*cfg.Inference)
 		if err != nil {
@@ -485,6 +488,7 @@ func (e *Engine) updateState(cause lifecycle.Cause, mutate func(*engineState) er
 	next.deliver = deliveryRule(next.phase, next.releases[0],
 		next.releases[len(next.releases)-1], e.adjudic)
 	next.winnerHdr = winnerHeaders(next.releases)
+	e.internReleases(next.releases)
 	e.state.Store(next)
 	from, to := cur.phase, next.phase
 	demands := 0
@@ -1017,10 +1021,25 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 	})
 }
 
+// internReleases stamps each release with the monitor's interned dense
+// index (threaded through dispatch as Endpoint.MonRef), so the outcome
+// hook aggregates observations by slice index instead of name lookups.
+// Interning is idempotent and monotonic; this runs on the management
+// path only, at state publication.
+func (e *Engine) internReleases(releases []Endpoint) {
+	for i := range releases {
+		releases[i].MonRef = int32(e.mon.Intern(releases[i].Version))
+	}
+}
+
 // obsSlices recycles recordOutcome's observation scratch (monitor.Note
-// does not retain rec.Releases past its return); see pool.Slice for the
-// zero-allocation cycle.
-var obsSlices pool.Slice[monitor.Observation]
+// does not retain rec.Releases past its return), and verdictScratch its
+// oracle verdict buffers (JudgeInto writes into the caller's buffer and
+// retains nothing); see pool.Slice for the zero-allocation cycle.
+var (
+	obsSlices      pool.Slice[monitor.Observation]
+	verdictScratch pool.Slice[bool]
+)
 
 // recordOutcome feeds the monitoring subsystem and evaluates the switch
 // policy. It is the dispatcher's outcome hook and may run on a
@@ -1030,40 +1049,45 @@ func (e *Engine) recordOutcome(out dispatch.Outcome) {
 	if out.ConsumerGone {
 		return
 	}
-	failed := e.oracle.Judge(out.Operation, out.Replies)
+	failed := e.oracle.JudgeInto(verdictScratch.Get(len(out.Replies)), out.Operation, out.Replies)
 	rec := monitor.Record{
 		Time:      time.Now(),
 		Operation: out.Operation,
 		Winner:    out.Winner.Release,
 		Releases:  obsSlices.Get(len(out.Replies)),
 	}
-	var oldFailed, newFailed *bool
-	for i, r := range out.Replies {
+	oldIdx, newIdx := -1, -1
+	for i := range out.Replies {
+		r := &out.Replies[i]
 		if r.Release == "" {
 			continue
 		}
-		obs := monitor.Observation{
+		var id monitor.ReleaseID
+		if i < len(out.Targets) && out.Targets[i].Version == r.Release {
+			id = monitor.ReleaseID(out.Targets[i].MonRef)
+		}
+		rec.Releases = append(rec.Releases, monitor.Observation{
 			Release:   r.Release,
-			Responded: dispatch.Responded(r),
+			ID:        id,
+			Responded: dispatch.Responded(*r),
 			Evident:   !r.Valid(),
 			Judged:    true,
 			Failed:    failed[i],
 			Latency:   r.Latency,
-		}
-		rec.Releases = append(rec.Releases, obs)
-		f := failed[i]
+		})
 		if r.Release == out.Oldest.Version {
-			oldFailed = &f
+			oldIdx = i
 		}
 		if r.Release == out.Newest.Version {
-			newFailed = &f
+			newIdx = i
 		}
 	}
-	if oldFailed != nil && newFailed != nil && out.Oldest.Version != out.Newest.Version {
-		rec.Joint = bayes.Outcome(*oldFailed, *newFailed)
+	if oldIdx >= 0 && newIdx >= 0 && out.Oldest.Version != out.Newest.Version {
+		rec.Joint = bayes.Outcome(failed[oldIdx], failed[newIdx])
 	}
 	e.mon.Note(rec)
 	obsSlices.Put(rec.Releases)
+	verdictScratch.Put(failed)
 
 	if e.cfg.Policy != nil && rec.Joint != 0 {
 		e.evaluatePolicy()

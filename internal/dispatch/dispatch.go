@@ -42,6 +42,13 @@ type Endpoint struct {
 	Version string
 	// URL is the release's SOAP endpoint.
 	URL string
+	// MonRef is an opaque annotation the dispatch layer threads through
+	// to the outcome hook unchanged: the engine stores its monitor's
+	// interned release index here so outcomes aggregate without a name
+	// lookup per observation. Zero means "no annotation". Outcome.Replies
+	// is aligned with Outcome.Targets, so Targets[i].MonRef annotates
+	// Replies[i].
+	MonRef int32 `json:"-"`
 }
 
 // Mode is the fan-out strategy while several releases are invoked (§4.2).
@@ -292,26 +299,10 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 		return d.doSequential(callCtx, targets, envelope, operation, rule, oldest, newest)
 	}
 
-	type indexed struct {
-		i int
-		r adjudicate.Reply
-	}
-	ch := make(chan indexed, len(targets))
+	f := d.acquireFanout(callCtx, operation, envelope, len(targets))
 	for i, t := range targets {
-		i, t := i, t
 		d.wg.Add(1)
-		go func() {
-			defer d.wg.Done()
-			ch <- indexed{i, d.callRelease(callCtx, t, operation, envelope)}
-		}()
-	}
-
-	replies := getReplySlice(len(targets))
-	received := 0
-	collectOne := func() {
-		in := <-ch
-		replies[in.i] = in.r
-		received++
+		go f.call(i, t)
 	}
 
 	// How many replies must arrive before delivery.
@@ -325,13 +316,19 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 		need = 1
 	}
 
+	replies := getReplySlice(len(targets))
+	received := 0
 	for received < need {
-		collectOne()
+		in := <-f.ch
+		replies[in.i] = in.r
+		received++
 	}
 	if req.Mode == ModeResponsiveness {
 		// Keep collecting until a valid reply arrives or all are in.
 		for !anyValid(replies) && received < len(targets) {
-			collectOne()
+			in := <-f.ch
+			replies[in.i] = in.r
+			received++
 		}
 	}
 
@@ -349,6 +346,7 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 
 	if received == len(targets) {
 		d.complete(callCtx, operation, targets, replies, winner, oldest, newest)
+		f.release()
 		return winner, adjErr
 	}
 	// Delivery happened early; detach from the consumer's context (the
@@ -362,12 +360,78 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 	go func() {
 		defer d.wg.Done()
 		for i := 0; i < remaining; i++ {
-			in := <-ch
+			in := <-f.ch
 			partial[in.i] = in.r
 		}
 		d.complete(callCtx, operation, targets, partial, winner, oldest, newest)
+		f.release()
 	}()
 	return winner, adjErr
+}
+
+// ---------------------------------------------------------------------------
+// Pooled fan-out state
+
+// indexed pairs a reply with its target index on the fan-out channel.
+type indexed struct {
+	i int
+	r adjudicate.Reply
+}
+
+// fanout is the pooled per-dispatch fan-out state: the reply channel
+// plus the arguments every release call shares. Spawning `go f.call(i, t)`
+// passes the per-target values through the goroutine's own frame, so a
+// fan-out allocates no per-target closure objects, and the reply channel
+// is reused across dispatches instead of being made fresh each time.
+type fanout struct {
+	d         *Dispatcher
+	ctx       *callCtx
+	operation string
+	envelope  []byte
+	ch        chan indexed
+}
+
+// fanoutChanCap is the pooled reply-channel capacity. Fan-outs wider
+// than this (unusual redundancy levels) grow the pooled member's
+// channel, which then stays at the larger capacity.
+const fanoutChanCap = 8
+
+var fanoutPool sync.Pool
+
+func (d *Dispatcher) acquireFanout(c *callCtx, operation string, envelope []byte, n int) *fanout {
+	f, ok := fanoutPool.Get().(*fanout)
+	if !ok {
+		f = &fanout{ch: make(chan indexed, fanoutChanCap)}
+	}
+	if cap(f.ch) < n {
+		f.ch = make(chan indexed, n)
+	}
+	f.d = d
+	f.ctx = c
+	f.operation = operation
+	f.envelope = envelope
+	return f
+}
+
+// release recycles the fan-out. The caller must have received one reply
+// per spawned call, so the channel is empty (the runtime clears received
+// slots, so the buffer retains no reply references).
+func (f *fanout) release() {
+	f.d = nil
+	f.ctx = nil
+	f.operation = ""
+	f.envelope = nil
+	fanoutPool.Put(f)
+}
+
+// call invokes one release and delivers the indexed reply. The receiver
+// can recycle f the moment the last reply has been received, so nothing
+// here may touch f after the send: the dispatcher is captured first for
+// the deferred Done.
+func (f *fanout) call(i int, t Endpoint) {
+	d := f.d
+	defer d.wg.Done()
+	f.ch <- indexed{i, d.callRelease(f.ctx, t, f.operation, f.envelope)}
 }
 
 // doSequential implements §4.2 mode 4: releases execute one at a time;

@@ -314,3 +314,73 @@ func TestParseModeRoundTrips(t *testing.T) {
 		t.Error("unknown mode string")
 	}
 }
+
+// TestOutcomeThreadsMonRefAlignedWithReplies pins the Endpoint.MonRef
+// contract: the annotation reaches the outcome hook unchanged, with
+// Targets[i] still aligned to Replies[i] on both the fan-out and the
+// sequential path — the engine aggregates monitoring by that index.
+func TestOutcomeThreadsMonRefAlignedWithReplies(t *testing.T) {
+	for _, mode := range []Mode{ModeReliability, ModeSequential} {
+		outcomes := make(chan Outcome, 1)
+		d := newStubDispatcher(&stubTransport{resp: okEnvelope()}, func(o Outcome) {
+			cp := Outcome{Targets: append([]Endpoint(nil), o.Targets...)}
+			for _, r := range o.Replies {
+				cp.Replies = append(cp.Replies, adjudicate.Reply{Release: r.Release})
+			}
+			outcomes <- cp
+		})
+		eps := targets(3)
+		for i := range eps {
+			eps[i].MonRef = int32(i + 7)
+		}
+		req := baseRequest(eps, mode)
+		if _, err := d.Do(req); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := <-outcomes
+		if len(out.Targets) == 0 || len(out.Targets) != len(out.Replies) {
+			t.Fatalf("%v: %d targets vs %d replies", mode, len(out.Targets), len(out.Replies))
+		}
+		for i := range out.Targets {
+			if out.Targets[i].MonRef != int32(i+7) {
+				t.Fatalf("%v: target %d MonRef = %d, want %d", mode, i, out.Targets[i].MonRef, i+7)
+			}
+			if out.Replies[i].Release != out.Targets[i].Version {
+				t.Fatalf("%v: reply %d is %q, target is %q",
+					mode, i, out.Replies[i].Release, out.Targets[i].Version)
+			}
+		}
+	}
+}
+
+// TestFanoutReuseAcrossDispatches drives many sequential fan-outs so
+// pooled fan-out state (reply channel, shared call args) is recycled;
+// the replies must never bleed between dispatches.
+func TestFanoutReuseAcrossDispatches(t *testing.T) {
+	tr := &stubTransport{resp: okEnvelope()}
+	var bad atomic.Int64
+	d := newStubDispatcher(tr, func(o Outcome) {
+		seen := map[string]bool{}
+		for _, r := range o.Replies {
+			if r.Release == "" || seen[r.Release] {
+				bad.Add(1)
+			}
+			seen[r.Release] = true
+		}
+	})
+	eps := targets(4)
+	for i := 0; i < 200; i++ {
+		if _, err := d.Do(baseRequest(eps, ModeReliability)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d duplicated or empty replies across reused fan-outs", bad.Load())
+	}
+}

@@ -10,8 +10,10 @@
 // A Monitor is safe for concurrent use by the request handlers of the
 // upgrade middleware, and is built for them: writes (Note) are striped
 // across lock-sharded accumulators so concurrent recorders do not
-// serialize on one mutex, and the bounded event log is a sequence-stamped
-// ring with per-slot locking. Reads (Joint, JointFor, Stats,
+// serialize on one mutex, release names are interned to dense indices
+// (Intern) so per-observation aggregation is a slice index rather than
+// a map lookup under the shard lock, and the bounded event log is a
+// sequence-stamped ring with per-slot locking. Reads (Joint, JointFor, Stats,
 // SlowResponses) aggregate across the shards; because every record lands
 // in exactly one shard, aggregated totals are exact — no observation is
 // double-counted or lost — although a read that races a write may or may
@@ -35,10 +37,21 @@ import (
 // ErrUnknownRelease reports a query for a release never observed.
 var ErrUnknownRelease = errors.New("monitor: unknown release")
 
+// ReleaseID is a dense interned index for a release version string,
+// assigned by Intern. IDs are 1-based; the zero value means "not
+// interned" and makes the zero Observation safe. IDs are only meaningful
+// for the Monitor that issued them.
+type ReleaseID int32
+
 // Observation is one release's behaviour on one intercepted demand.
 type Observation struct {
 	// Release is the release's version string.
 	Release string `json:"release"`
+	// ID optionally carries this Monitor's interned index for Release
+	// (from Intern), letting Note aggregate by slice index instead of a
+	// map lookup per observation. Zero — or an ID that does not match
+	// Release — falls back to interning by name.
+	ID ReleaseID `json:"-"`
 	// Responded reports whether a response arrived within the timeout.
 	Responded bool `json:"responded"`
 	// Evident reports an evident failure (fault, transport error, or —
@@ -112,8 +125,13 @@ const numShards = 32
 
 type releaseAgg struct {
 	demands, responses, evident, judgedFailed int
-	latency                                   stats.Summary
-	latencyHist                               *stats.Histogram
+	// overflow counts responses whose latency was at or beyond the
+	// histogram range: they are clamped into the top bin (totals always
+	// balance) but SlowResponses needs to know they exist when the
+	// queried threshold itself lies beyond the range.
+	overflow    int
+	latency     stats.Summary
+	latencyHist *stats.Histogram
 }
 
 // merge folds another accumulator into agg.
@@ -122,6 +140,7 @@ func (agg *releaseAgg) merge(o *releaseAgg) {
 	agg.responses += o.responses
 	agg.evident += o.evident
 	agg.judgedFailed += o.judgedFailed
+	agg.overflow += o.overflow
 	agg.latency.Merge(o.latency)
 	if err := agg.latencyHist.Merge(o.latencyHist); err != nil {
 		panic("monitor: merging latency histograms: " + err.Error()) // identical static bounds, unreachable
@@ -136,12 +155,40 @@ func newReleaseAgg() *releaseAgg {
 	return &releaseAgg{latencyHist: hist}
 }
 
-// shard is one lock-striped bucket of the observation store.
+// shard is one lock-striped bucket of the observation store. Per-release
+// accumulators are indexed by interned ReleaseID (slot id-1, nil until
+// this shard's first observation of that release), so the write path
+// under the shard lock is a slice index, not a map lookup per
+// observation.
 type shard struct {
-	mu       sync.Mutex
-	releases map[string]*releaseAgg
-	joint    bayes.JointCounts
-	perOp    map[string]bayes.JointCounts
+	mu    sync.Mutex
+	aggs  []*releaseAgg
+	joint bayes.JointCounts
+	perOp map[string]bayes.JointCounts
+}
+
+// agg returns the shard's accumulator for an interned release, creating
+// it on first sight. Callers hold sh.mu.
+func (sh *shard) agg(id ReleaseID) *releaseAgg {
+	idx := int(id) - 1
+	if idx >= len(sh.aggs) {
+		grown := make([]*releaseAgg, idx+1)
+		copy(grown, sh.aggs)
+		sh.aggs = grown
+	}
+	a := sh.aggs[idx]
+	if a == nil {
+		a = newReleaseAgg()
+		sh.aggs[idx] = a
+	}
+	return a
+}
+
+// internTable is the immutable release-name interning state, swapped
+// atomically so Note's lookups are lock-free.
+type internTable struct {
+	ids   map[string]ReleaseID
+	names []string // names[id-1] — the reverse mapping
 }
 
 // Monitor accumulates records. Construct with New.
@@ -150,6 +197,11 @@ type Monitor struct {
 	// next round-robins Note calls across the shards; uniform striping
 	// beats key hashing here because one hot operation must still spread.
 	next atomic.Uint64
+
+	// intern maps release names to dense indices (copy-on-write; readers
+	// never lock, writers serialize on internMu).
+	intern   atomic.Pointer[internTable]
+	internMu sync.Mutex
 
 	ring *logRing // nil when the event log is disabled
 
@@ -183,8 +235,7 @@ func New(opts ...Option) *Monitor {
 	m := &Monitor{logCap: 4096}
 	for i := range m.shards {
 		m.shards[i] = &shard{
-			releases: make(map[string]*releaseAgg),
-			perOp:    make(map[string]bayes.JointCounts),
+			perOp: make(map[string]bayes.JointCounts),
 		}
 	}
 	for _, o := range opts {
@@ -196,21 +247,79 @@ func New(opts ...Option) *Monitor {
 	return m
 }
 
+// Intern returns the dense index for a release name, assigning the next
+// one on first sight. Lookups are a lock-free load of the immutable
+// table; assignment copies the table under a mutex. Recording paths that
+// observe the same releases on every demand should intern once and carry
+// the ID on their Observations.
+func (m *Monitor) Intern(release string) ReleaseID {
+	if t := m.intern.Load(); t != nil {
+		if id, ok := t.ids[release]; ok {
+			return id
+		}
+	}
+	m.internMu.Lock()
+	defer m.internMu.Unlock()
+	old := m.intern.Load()
+	if old != nil {
+		if id, ok := old.ids[release]; ok {
+			return id
+		}
+	}
+	next := &internTable{}
+	if old != nil {
+		next.ids = make(map[string]ReleaseID, len(old.ids)+1)
+		for k, v := range old.ids {
+			next.ids[k] = v
+		}
+		next.names = append(append([]string(nil), old.names...), release)
+	} else {
+		next.ids = make(map[string]ReleaseID, 1)
+		next.names = []string{release}
+	}
+	id := ReleaseID(len(next.names))
+	next.ids[release] = id
+	m.intern.Store(next)
+	return id
+}
+
+// lookup resolves a release name to its interned ID (0 when never
+// interned).
+func (m *Monitor) lookup(release string) ReleaseID {
+	if t := m.intern.Load(); t != nil {
+		return t.ids[release]
+	}
+	return 0
+}
+
+// resolve returns the trusted interned ID for one observation: the
+// pre-interned ID when it matches the observation's release name, or a
+// fresh interning by name (IDs from a different Monitor must not
+// aggregate into the wrong slot).
+func (m *Monitor) resolve(t *internTable, obs *Observation) ReleaseID {
+	if id := obs.ID; id > 0 && t != nil && int(id) <= len(t.names) && t.names[id-1] == obs.Release {
+		return id
+	}
+	return m.Intern(obs.Release)
+}
+
 // Note records one demand.
 func (m *Monitor) Note(rec Record) {
+	t := m.intern.Load()
 	sh := m.shards[m.next.Add(1)&(numShards-1)]
 	sh.mu.Lock()
-	for _, obs := range rec.Releases {
-		agg, ok := sh.releases[obs.Release]
-		if !ok {
-			agg = newReleaseAgg()
-			sh.releases[obs.Release] = agg
-		}
+	for i := range rec.Releases {
+		obs := &rec.Releases[i]
+		agg := sh.agg(m.resolve(t, obs))
 		agg.demands++
 		if obs.Responded {
+			sec := obs.Latency.Seconds()
 			agg.responses++
-			agg.latency.Observe(obs.Latency.Seconds())
-			agg.latencyHist.Observe(obs.Latency.Seconds())
+			agg.latency.Observe(sec)
+			agg.latencyHist.Observe(sec)
+			if sec >= latencyRange.Seconds() {
+				agg.overflow++
+			}
 		}
 		if obs.Evident {
 			agg.evident++
@@ -281,15 +390,19 @@ func (m *Monitor) JointFor(operation string) bayes.JointCounts {
 
 // mergedAgg aggregates one release's accumulators across every shard.
 func (m *Monitor) mergedAgg(release string) (*releaseAgg, bool) {
+	id := m.lookup(release)
+	if id == 0 {
+		return nil, false
+	}
+	idx := int(id) - 1
 	var merged *releaseAgg
 	for _, sh := range m.shards {
 		sh.mu.Lock()
-		agg, ok := sh.releases[release]
-		if ok {
+		if idx < len(sh.aggs) && sh.aggs[idx] != nil {
 			if merged == nil {
 				merged = newReleaseAgg()
 			}
-			merged.merge(agg)
+			merged.merge(sh.aggs[idx])
 		}
 		sh.mu.Unlock()
 	}
@@ -300,19 +413,47 @@ func (m *Monitor) mergedAgg(release string) (*releaseAgg, bool) {
 // no response at all or responded slower than the threshold — the
 // numerator of the §6.1 responsiveness attribute. The count is computed
 // from a 2048-bin latency histogram, so thresholds are resolved to
-// ~30 ms granularity.
+// ~30 ms granularity: a threshold inside a bin charges that whole bin as
+// fast (the conservative rounding), while a threshold on a bin boundary
+// charges the bin above it as slow. Latencies at or beyond the histogram
+// range are tracked explicitly, so a threshold beyond the range still
+// counts them instead of silently reporting zero slow responses —
+// unless the slowest observed response was itself within the threshold,
+// in which case nothing was slow.
 func (m *Monitor) SlowResponses(release string, threshold time.Duration) (slow, demands int, err error) {
 	agg, ok := m.mergedAgg(release)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownRelease, release)
 	}
 	noResponse := agg.demands - agg.responses
-	// Count responses in bins entirely above the threshold.
+	// Count responses in bins entirely above the threshold: the first
+	// bin whose lower edge is at or past the threshold. This is a ceil —
+	// int(x/w)+1 skipped one fully-above bin whenever the threshold
+	// landed exactly on a bin boundary.
 	binWidth := latencyRange.Seconds() / latencyBinCount
-	firstAbove := int(threshold.Seconds()/binWidth) + 1
+	sec := threshold.Seconds()
+	firstAbove := int(sec / binWidth)
+	if float64(firstAbove)*binWidth < sec {
+		firstAbove++
+	}
+	if firstAbove < 0 {
+		firstAbove = 0
+	}
 	slowResponded := 0
-	for i := firstAbove; i < latencyBinCount; i++ {
-		slowResponded += agg.latencyHist.Counts[i]
+	if firstAbove < latencyBinCount {
+		for i := firstAbove; i < latencyBinCount; i++ {
+			slowResponded += agg.latencyHist.Counts[i]
+		}
+	} else if agg.latency.Max() > sec {
+		// The threshold is at or beyond the histogram range: every
+		// in-range latency is fast, and the histogram cannot resolve
+		// the responses clamped into the top bin (>= the range) any
+		// further. When the slowest observed response did exceed the
+		// threshold, count all over-range responses rather than
+		// undercount the §6.1 numerator to zero — the documented
+		// granularity limit beyond the range. When even the slowest
+		// response was within the threshold, nothing was slow.
+		slowResponded = agg.overflow
 	}
 	return noResponse + slowResponded, agg.demands, nil
 }
@@ -334,19 +475,28 @@ func (m *Monitor) Stats(release string) (ReleaseStats, error) {
 	}, nil
 }
 
-// Releases lists the observed release versions (unordered).
+// Releases lists the observed release versions (unordered). Releases
+// that were interned but never observed are not listed.
 func (m *Monitor) Releases() []string {
-	seen := make(map[string]bool)
+	t := m.intern.Load()
+	if t == nil {
+		return nil
+	}
+	seen := make([]bool, len(t.names))
 	for _, sh := range m.shards {
 		sh.mu.Lock()
-		for name := range sh.releases {
-			seen[name] = true
+		for idx, agg := range sh.aggs {
+			if agg != nil && idx < len(seen) {
+				seen[idx] = true
+			}
 		}
 		sh.mu.Unlock()
 	}
-	out := make([]string, 0, len(seen))
-	for name := range seen {
-		out = append(out, name)
+	out := make([]string, 0, len(t.names))
+	for idx, ok := range seen {
+		if ok {
+			out = append(out, t.names[idx])
+		}
 	}
 	return out
 }

@@ -90,8 +90,18 @@ func (r *refMonitor) slowResponses(release string, threshold time.Duration) (int
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	noResponse := r.demands[release] - r.resp[release]
+	// Mirrors the fixed boundary math: the first bin counted as slow is
+	// the first whose lower edge is at or past the threshold (ceil, not
+	// int(x/w)+1 which skipped a fully-above bin on exact boundaries).
 	binWidth := latencyRange.Seconds() / latencyBinCount
-	firstAbove := int(threshold.Seconds()/binWidth) + 1
+	sec := threshold.Seconds()
+	firstAbove := int(sec / binWidth)
+	if float64(firstAbove)*binWidth < sec {
+		firstAbove++
+	}
+	if firstAbove < 0 {
+		firstAbove = 0
+	}
 	slow := 0
 	for i := firstAbove; i < latencyBinCount; i++ {
 		if hist := r.latHist[release]; hist != nil {

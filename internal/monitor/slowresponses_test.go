@@ -1,0 +1,195 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+// binWidthDur is one latency-histogram bin as a duration (60 s / 2048 =
+// 29.296875 ms, exactly representable).
+const binWidthDur = latencyRange / latencyBinCount
+
+// noteLatency records one responded demand with the given latency.
+func noteLatency(m *Monitor, release string, d time.Duration) {
+	m.Note(Record{Releases: []Observation{{
+		Release: release, Responded: true, Latency: d,
+	}}})
+}
+
+// TestSlowResponsesBoundary is the regression for the boundary math:
+// with a threshold exactly on a bin boundary, the bin right above the
+// threshold is entirely slow and must be counted. The pre-fix
+// int(t/w)+1 skipped it, undercounting the §6.1 responsiveness
+// numerator for every boundary-aligned threshold.
+func TestSlowResponsesBoundary(t *testing.T) {
+	m := New()
+	// One response in bin 1 ([w, 2w)), one comfortably fast in bin 0,
+	// one comfortably slow in bin 40.
+	noteLatency(m, "1.0", binWidthDur+binWidthDur/2)
+	noteLatency(m, "1.0", binWidthDur/4)
+	noteLatency(m, "1.0", 40*binWidthDur+binWidthDur/2)
+
+	// Threshold exactly on the bin-1 boundary: bins 1+ are entirely
+	// above it, so both the bin-1 and the bin-40 response are slow.
+	slow, demands, err := m.SlowResponses("1.0", binWidthDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demands != 3 {
+		t.Fatalf("demands = %d, want 3", demands)
+	}
+	if slow != 2 {
+		t.Fatalf("slow = %d at boundary threshold %v, want 2 (boundary bin skipped?)", slow, binWidthDur)
+	}
+
+	// Mid-bin threshold: bin 1 cannot be split, so only bin 40 counts —
+	// the documented conservative rounding, unchanged by the fix.
+	slow, _, err = m.SlowResponses("1.0", binWidthDur+binWidthDur/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 1 {
+		t.Fatalf("slow = %d at mid-bin threshold, want 1", slow)
+	}
+
+	// Threshold zero: every response is in a bin at or above it.
+	slow, _, err = m.SlowResponses("1.0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 3 {
+		t.Fatalf("slow = %d at zero threshold, want 3", slow)
+	}
+}
+
+// TestSlowResponsesOverflow is the regression for over-range latencies:
+// observations at or beyond the histogram range are clamped into the top
+// bin, and a threshold at or beyond the range used to report zero slow
+// responses for them.
+func TestSlowResponsesOverflow(t *testing.T) {
+	m := New()
+	noteLatency(m, "1.0", 2*latencyRange) // 120 s, clamped
+	noteLatency(m, "1.0", latencyRange)   // exactly the range edge: also over-range
+	noteLatency(m, "1.0", time.Second)    // comfortably in range
+	m.Note(Record{Releases: []Observation{{Release: "1.0", Responded: false}}})
+
+	// Threshold beyond the histogram range: only the clamped over-range
+	// responses (and the non-response) can be slow.
+	slow, demands, err := m.SlowResponses("1.0", 90*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demands != 4 {
+		t.Fatalf("demands = %d, want 4", demands)
+	}
+	if slow != 3 {
+		t.Fatalf("slow = %d for over-range threshold, want 3 (2 clamped + 1 no-response)", slow)
+	}
+
+	// Exactly at the range: same, via the overflow count.
+	slow, _, err = m.SlowResponses("1.0", latencyRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 3 {
+		t.Fatalf("slow = %d at range threshold, want 3", slow)
+	}
+
+	// An in-range threshold still counts clamped responses through the
+	// top bin, not the overflow counter — no double counting.
+	slow, _, err = m.SlowResponses("1.0", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 3 {
+		t.Fatalf("slow = %d at 30s threshold, want 3", slow)
+	}
+
+	// A threshold beyond even the slowest observed response: no response
+	// was slow, over-range or not — only the non-response counts.
+	slow, _, err = m.SlowResponses("1.0", 150*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 1 {
+		t.Fatalf("slow = %d beyond the max latency, want 1 (no-response only)", slow)
+	}
+}
+
+// TestInternStableAndConcurrent pins the interning contract: IDs are
+// dense, 1-based, stable across repeated interning, and resolvable
+// concurrently.
+func TestInternStableAndConcurrent(t *testing.T) {
+	m := New()
+	a := m.Intern("1.0")
+	b := m.Intern("1.1")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d; want dense 1-based 1, 2", a, b)
+	}
+	done := make(chan ReleaseID, 16)
+	for i := 0; i < 16; i++ {
+		go func() { done <- m.Intern("1.1") }()
+	}
+	for i := 0; i < 16; i++ {
+		if got := <-done; got != b {
+			t.Fatalf("concurrent Intern(1.1) = %d, want %d", got, b)
+		}
+	}
+	if got := m.Intern("1.0"); got != a {
+		t.Fatalf("re-Intern(1.0) = %d, want %d", got, a)
+	}
+}
+
+// TestNoteRejectsForeignIDs feeds Note an observation whose ID does not
+// belong to this monitor (or not to this release): it must aggregate by
+// name instead of crediting the wrong release's slot.
+func TestNoteRejectsForeignIDs(t *testing.T) {
+	m := New()
+	legit := m.Intern("1.0")
+	// Bogus out-of-range ID and a mismatched in-range ID.
+	m.Note(Record{Releases: []Observation{{Release: "1.1", ID: 57, Responded: true}}})
+	m.Note(Record{Releases: []Observation{{Release: "1.2", ID: legit, Responded: true}}})
+
+	for _, rel := range []string{"1.1", "1.2"} {
+		st, err := m.Stats(rel)
+		if err != nil {
+			t.Fatalf("Stats(%s): %v", rel, err)
+		}
+		if st.Demands != 1 || st.Responses != 1 {
+			t.Fatalf("Stats(%s) = %+v, want 1 demand, 1 response", rel, st)
+		}
+	}
+	// The legit slot must stay empty: "1.0" was interned but never
+	// observed, so it reports unknown rather than stolen observations.
+	if st, err := m.Stats("1.0"); err == nil {
+		t.Fatalf("Stats(1.0) = %+v, want ErrUnknownRelease", st)
+	}
+}
+
+// TestNoteSteadyStateZeroAlloc holds the hot write path to zero
+// allocations once the event-log ring has lapped, for both interned and
+// by-name observations.
+func TestNoteSteadyStateZeroAlloc(t *testing.T) {
+	for _, interned := range []bool{true, false} {
+		m := New(WithLogCapacity(64))
+		rec := Record{
+			Operation: "add",
+			Releases: []Observation{
+				{Release: "1.0", Responded: true, Latency: 3 * time.Millisecond},
+				{Release: "1.1", Responded: true, Latency: 2 * time.Millisecond},
+			},
+		}
+		if interned {
+			for i := range rec.Releases {
+				rec.Releases[i].ID = m.Intern(rec.Releases[i].Release)
+			}
+		}
+		for i := 0; i < 80; i++ { // lap the ring
+			m.Note(rec)
+		}
+		allocs := testing.AllocsPerRun(200, func() { m.Note(rec) })
+		if allocs != 0 {
+			t.Errorf("interned=%v: %v allocs per Note, want 0", interned, allocs)
+		}
+	}
+}

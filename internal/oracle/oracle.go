@@ -18,6 +18,12 @@
 //
 // All oracles return per-reply failure verdicts aligned with the replies
 // slice, from which the pairwise Table 1 outcome is derived.
+//
+// The judge path runs once per intercepted demand, so it is built for the
+// dispatch hot path: JudgeInto writes verdicts into a caller-owned buffer
+// and every oracle is allocation-free in steady state (byte-identical
+// response comparisons never parse; differing responses canonicalize into
+// pooled scratch).
 package oracle
 
 import (
@@ -42,10 +48,30 @@ var ErrBadOracle = errors.New("oracle: bad configuration")
 // concurrent use and must not mutate the replies.
 type Oracle interface {
 	// Judge returns failed[i] == true when replies[i] is judged to have
-	// failed (evidently or not). len(failed) == len(replies).
+	// failed (evidently or not). len(failed) == len(replies). It is the
+	// convenience form of JudgeInto and allocates the verdict slice.
 	Judge(operation string, replies []adjudicate.Reply) []bool
+	// JudgeInto writes the verdicts into dst, which backs the result
+	// when cap(dst) >= len(replies) (its length is ignored; a fresh
+	// slice is grown otherwise), and returns the verdict slice with
+	// len == len(replies). The caller owns dst before and after the
+	// call: oracles do not retain it, so callers may pool it.
+	JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool
 	// Name identifies the oracle in reports.
 	Name() string
+}
+
+// verdicts returns a zeroed verdict slice of length n backed by dst when
+// its capacity suffices.
+func verdicts(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = false
+	}
+	return dst
 }
 
 // FaultOnly detects evident failures only: a reply failed iff it carries
@@ -56,8 +82,13 @@ type FaultOnly struct{}
 var _ Oracle = FaultOnly{}
 
 // Judge implements Oracle.
-func (FaultOnly) Judge(operation string, replies []adjudicate.Reply) []bool {
-	failed := make([]bool, len(replies))
+func (o FaultOnly) Judge(operation string, replies []adjudicate.Reply) []bool {
+	return o.JudgeInto(nil, operation, replies)
+}
+
+// JudgeInto implements Oracle.
+func (FaultOnly) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	failed := verdicts(dst, len(replies))
 	for i, r := range replies {
 		failed[i] = !r.Valid()
 	}
@@ -80,7 +111,12 @@ var _ Oracle = Reference{}
 
 // Judge implements Oracle.
 func (o Reference) Judge(operation string, replies []adjudicate.Reply) []bool {
-	failed := make([]bool, len(replies))
+	return o.JudgeInto(nil, operation, replies)
+}
+
+// JudgeInto implements Oracle.
+func (o Reference) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	failed := verdicts(dst, len(replies))
 	var ref *adjudicate.Reply
 	for i := range replies {
 		if replies[i].Release == o.Release && replies[i].Valid() {
@@ -88,7 +124,8 @@ func (o Reference) Judge(operation string, replies []adjudicate.Reply) []bool {
 			break
 		}
 	}
-	for i, r := range replies {
+	for i := range replies {
+		r := &replies[i]
 		switch {
 		case !r.Valid():
 			failed[i] = true
@@ -112,30 +149,41 @@ type BackToBack struct{}
 var _ Oracle = BackToBack{}
 
 // Judge implements Oracle.
-func (BackToBack) Judge(operation string, replies []adjudicate.Reply) []bool {
-	failed := make([]bool, len(replies))
-	valid := make([]int, 0, len(replies))
-	for i, r := range replies {
-		if r.Valid() {
-			valid = append(valid, i)
+func (o BackToBack) Judge(operation string, replies []adjudicate.Reply) []bool {
+	return o.JudgeInto(nil, operation, replies)
+}
+
+// JudgeInto implements Oracle.
+func (BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	failed := verdicts(dst, len(replies))
+	first := -1 // first valid reply: the comparison base
+	nvalid := 0
+	for i := range replies {
+		if replies[i].Valid() {
+			if first < 0 {
+				first = i
+			}
+			nvalid++
 		} else {
 			failed[i] = true
 		}
 	}
-	if len(valid) < 2 {
+	if nvalid < 2 {
 		return failed
 	}
-	base := replies[valid[0]].Body
+	base := replies[first].Body
 	agree := true
-	for _, i := range valid[1:] {
-		if !soap.EqualCanonical(base, replies[i].Body) {
+	for i := first + 1; i < len(replies); i++ {
+		if replies[i].Valid() && !soap.EqualCanonical(base, replies[i].Body) {
 			agree = false
 			break
 		}
 	}
 	if !agree {
-		for _, i := range valid {
-			failed[i] = true
+		for i := range replies {
+			if replies[i].Valid() {
+				failed[i] = true
+			}
 		}
 	}
 	return failed
@@ -152,9 +200,15 @@ type Header struct{}
 var _ Oracle = Header{}
 
 // Judge implements Oracle.
-func (Header) Judge(operation string, replies []adjudicate.Reply) []bool {
-	failed := make([]bool, len(replies))
-	for i, r := range replies {
+func (o Header) Judge(operation string, replies []adjudicate.Reply) []bool {
+	return o.JudgeInto(nil, operation, replies)
+}
+
+// JudgeInto implements Oracle.
+func (Header) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	failed := verdicts(dst, len(replies))
+	for i := range replies {
+		r := &replies[i]
 		if !r.Valid() {
 			failed[i] = true
 			continue
@@ -175,12 +229,20 @@ func (Header) Name() string { return "header-truth" }
 // WithOmission wraps an oracle with §5.1.1.3 omission imperfection: each
 // failure verdict is independently flipped to success with probability
 // Pomit. Construct with NewWithOmission.
+//
+// Omission draws come from a pool of deterministic generators split off
+// the seeded master — one pool Get per judgment instead of a
+// wrapper-wide mutex, so concurrent dispatches never serialize on the
+// oracle (the same determinism contract as adjudication tie-breaking:
+// reproducible streams, not a reproducible interleaving).
 type WithOmission struct {
 	inner Oracle
 	pomit float64
 
-	mu  sync.Mutex
-	rng *xrand.Rand
+	// rngMaster only seeds new pool members; rngMu guards the split.
+	rngMu     sync.Mutex
+	rngMaster *xrand.Rand
+	rngPool   sync.Pool
 }
 
 var _ Oracle = (*WithOmission)(nil)
@@ -196,19 +258,37 @@ func NewWithOmission(inner Oracle, pomit float64, rng *xrand.Rand) (*WithOmissio
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil rng", ErrBadOracle)
 	}
-	return &WithOmission{inner: inner, pomit: pomit, rng: rng}, nil
+	return &WithOmission{inner: inner, pomit: pomit, rngMaster: rng}, nil
 }
+
+// getRNG hands one generator to a judgment. Generators are pooled; a
+// fresh one is split off the seeded master only when the pool is empty.
+func (o *WithOmission) getRNG() *xrand.Rand {
+	if r, ok := o.rngPool.Get().(*xrand.Rand); ok {
+		return r
+	}
+	o.rngMu.Lock()
+	defer o.rngMu.Unlock()
+	return o.rngMaster.Split()
+}
+
+func (o *WithOmission) putRNG(r *xrand.Rand) { o.rngPool.Put(r) }
 
 // Judge implements Oracle.
 func (o *WithOmission) Judge(operation string, replies []adjudicate.Reply) []bool {
-	failed := o.inner.Judge(operation, replies)
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	return o.JudgeInto(nil, operation, replies)
+}
+
+// JudgeInto implements Oracle.
+func (o *WithOmission) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	failed := o.inner.JudgeInto(dst, operation, replies)
+	rng := o.getRNG()
 	for i := range failed {
-		if failed[i] && o.rng.Bool(o.pomit) {
+		if failed[i] && rng.Bool(o.pomit) {
 			failed[i] = false
 		}
 	}
+	o.putRNG(rng)
 	return failed
 }
 

@@ -486,8 +486,19 @@ func (c *Client) CallRaw(ctx context.Context, operation string, envelope []byte)
 // prefix choice canonicalize identically, which is what the back-to-back
 // comparison of release responses (§5.1.1.3) needs.
 func Canonicalize(fragment []byte) ([]byte, error) {
-	dec := xml.NewDecoder(bytes.NewReader(fragment))
 	b := getBuf()
+	if err := canonicalizeTo(b, fragment); err != nil {
+		putBuf(b)
+		return nil, err
+	}
+	return take(b), nil
+}
+
+// canonicalizeTo writes the canonical form of fragment into b, so
+// callers that only compare canonical forms can hold the result in
+// pooled scratch instead of taking a per-call copy.
+func canonicalizeTo(b *bytes.Buffer, fragment []byte) error {
+	dec := xml.NewDecoder(bytes.NewReader(fragment))
 	depth := 0
 	for {
 		tok, err := dec.Token()
@@ -495,8 +506,7 @@ func Canonicalize(fragment []byte) ([]byte, error) {
 			break
 		}
 		if err != nil {
-			putBuf(b)
-			return nil, fmt.Errorf("soap: canonicalizing: %w", err)
+			return fmt.Errorf("soap: canonicalizing: %w", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -536,7 +546,7 @@ func Canonicalize(fragment []byte) ([]byte, error) {
 			xml.EscapeText(b, t)
 		}
 	}
-	return take(b), nil
+	return nil
 }
 
 func writeCanonicalName(b *bytes.Buffer, n xml.Name) {
@@ -602,13 +612,31 @@ func isTagDelim(c byte) bool {
 
 // EqualCanonical reports whether two XML fragments canonicalize to the
 // same bytes. Unparsable fragments compare by raw bytes.
+//
+// This is the oracle comparison primitive, called once per reply pair on
+// every judged demand, so the common cases stay off the XML decoder:
+// byte-identical fragments (agreeing releases serialize deterministically)
+// are equal without parsing, and differing fragments canonicalize into
+// pooled scratch rather than taking per-call result copies.
 func EqualCanonical(a, b []byte) bool {
-	ca, errA := Canonicalize(a)
-	cb, errB := Canonicalize(b)
-	if errA != nil || errB != nil {
-		return bytes.Equal(a, b)
+	if bytes.Equal(a, b) {
+		return true
 	}
-	return bytes.Equal(ca, cb)
+	ca := getBuf()
+	if err := canonicalizeTo(ca, a); err != nil {
+		putBuf(ca)
+		return false // a is unparsable: raw-byte comparison, already unequal
+	}
+	cb := getBuf()
+	if err := canonicalizeTo(cb, b); err != nil {
+		putBuf(ca)
+		putBuf(cb)
+		return false
+	}
+	eq := bytes.Equal(ca.Bytes(), cb.Bytes())
+	putBuf(ca)
+	putBuf(cb)
+	return eq
 }
 
 // InjectElement appends a child element (rendered from raw XML) at the end
