@@ -11,10 +11,24 @@ COUNT     ?= 5
 BENCHTIME ?= 1000x
 GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInProcess/fleet-routed,MonitorNote/interned,OracleJudge/fault-only,OracleJudge/header-truth,OracleJudge/reference(1.0),OracleJudge/back-to-back,OracleJudge/omission
 
-.PHONY: test vet bench bench-run bench-baseline clean-bench
+# The soak target runs the chaos-scenario suite end to end under the
+# race detector: a real fleet over TCP with fault-injected releases,
+# closing with the duration-based soak scenario (goroutine/heap/RSS
+# bounds). SOAK_DURATION scales the soak scenario; CI uses a short
+# duration on PRs and a longer one on the schedule.
+SOAK_DURATION ?= 20s
+SOAK_OUT      ?= .
+
+.PHONY: test vet bench bench-run bench-baseline clean-bench soak
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+soak:
+	$(GO) run -race ./cmd/loadgen -scenario corrupt-never-wins -out $(SOAK_OUT)/soak-corrupt.json
+	$(GO) run -race ./cmd/loadgen -scenario omission-convergence -out $(SOAK_OUT)/soak-omission.json
+	$(GO) run -race ./cmd/loadgen -scenario crash-restart -out $(SOAK_OUT)/soak-crash.json
+	$(GO) run -race ./cmd/loadgen -scenario soak -duration $(SOAK_DURATION) -out $(SOAK_OUT)/soak-report.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/core"
+	"wsupgrade/internal/loadgen"
+	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/service"
+	"wsupgrade/internal/stats"
+)
+
+// bootEngine serves a two-release upgrade engine on an ephemeral port.
+func bootEngine(t *testing.T) string {
+	t.Helper()
+	prior := stats.ScaledBeta{Alpha: 1, Beta: 3, Upper: 0.3}
+	endpoints := make([]core.Endpoint, 0, 2)
+	for _, version := range []string{"1.0", "1.1"} {
+		rel, err := service.New(service.DemoContract(version), service.DemoBehaviours(), service.FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: rel.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		endpoints = append(endpoints, core.Endpoint{Version: version, URL: "http://" + ln.Addr().String()})
+	}
+	eng, err := core.New(core.Config{
+		Releases:     endpoints,
+		InitialPhase: core.PhaseObservation,
+		Oracle:       oracle.Reference{Release: "1.0"},
+		Inference: &bayes.WhiteBoxConfig{
+			PriorA: prior, PriorB: prior,
+			GridA: 30, GridB: 30, GridC: 8, GridAB: 36,
+		},
+		ConfidenceTarget: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: eng.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	// Drain handlers before the engine behind them closes (Close cuts
+	// connections without waiting for in-flight dispatches).
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			_ = srv.Close()
+		}
+	})
+	return "http://" + ln.Addr().String() + "/"
+}
+
+func TestRunClosedLoopCLI(t *testing.T) {
+	url := bootEngine(t)
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-url", url, "-n", "40", "-c", "2", "-seed", "4"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if rep.Requests != 40 || rep.Verdicts[loadgen.VerdictOK] != 40 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.LatencyMS.P99 <= 0 {
+		t.Fatalf("missing percentiles: %+v", rep.LatencyMS)
+	}
+}
+
+func TestRunScenarioCLIWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-scenario", "corrupt-never-wins", "-n", "60", "-c", "2", "-out", out},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("scenario run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadgen.ScenarioResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if !res.Pass || res.Scenario != "corrupt-never-wins" {
+		t.Fatalf("scenario result: %+v", res)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var discard bytes.Buffer
+	if err := run(context.Background(), []string{"-n", "1"}, &discard, io.Discard); err == nil {
+		t.Fatal("missing -url accepted")
+	}
+	if err := run(context.Background(), []string{"-url", "http://x", "-n", "1", "-mode", "sideways"}, &discard, io.Discard); err == nil {
+		t.Fatal("bad -mode accepted")
+	}
+	err := run(context.Background(), []string{"-scenario", "nope"}, &discard, io.Discard)
+	if !errors.Is(err, loadgen.ErrUnknownScenario) {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+}
+
+func TestRunListScenarios(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Fields(stdout.String())
+	if len(got) < 4 || got[0] != "corrupt-never-wins" {
+		t.Fatalf("scenario list: %v", got)
+	}
+}

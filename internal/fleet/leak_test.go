@@ -1,0 +1,24 @@
+package fleet
+
+import (
+	"testing"
+
+	"wsupgrade/internal/testutil"
+)
+
+// TestFleetCloseLeavesNoGoroutines: a two-unit fleet under traffic must
+// tear down completely — every unit engine, the shared wire transport's
+// janitor and connection watchers, all of it.
+func TestFleetCloseLeavesNoGoroutines(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	_, ts := twoUnitFleet(t, nil)
+	for i := 0; i < 4; i++ {
+		for _, unit := range []string{"flights", "hotels"} {
+			if _, err := callUnit(t, ts.URL, unit, i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// twoUnitFleet's cleanup closes the fleet; CheckGoroutines'
+	// cleanup (registered first, so running last) asserts no survivors.
+}

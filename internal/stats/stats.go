@@ -432,3 +432,40 @@ func (h *Histogram) Total() int {
 	}
 	return t
 }
+
+// Quantile estimates the p-quantile (p in [0,1]) of the binned sample,
+// interpolating linearly within the containing bin (observations are
+// assumed uniform inside a bin). An empty histogram returns Lo. Values
+// clamped into the edge bins report the bin edge, so a quantile is never
+// outside [Lo, Hi]. The load harness derives its latency percentiles
+// from merged per-worker histograms with this.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return h.Lo
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	target := p * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			within := 0.0
+			if target > cum {
+				within = (target - cum) / float64(c)
+			}
+			return h.Lo + width*(float64(i)+within)
+		}
+		cum = next
+	}
+	return h.Hi
+}

@@ -464,3 +464,76 @@ func TestHistogramMerge(t *testing.T) {
 		t.Fatal("mismatched bin counts accepted")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want Lo", got)
+	}
+	// A uniform sample 0.5, 1.5, ..., 99.5: one observation per bin.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0, 0, 0.01},
+		{0.5, 50, 1.01},
+		{0.95, 95, 1.01},
+		{0.99, 99, 1.01},
+		{1, 100, 0.01},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("Quantile(%v) = %v, want %v ± %v", tc.p, got, tc.want, tc.tol)
+		}
+	}
+	// Out-of-range p clamps.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v", got)
+	}
+
+	// A point mass in one bin: every quantile lands inside that bin.
+	pm, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		pm.Observe(7.3)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if got := pm.Quantile(p); got < 7 || got > 8 {
+			t.Fatalf("point-mass Quantile(%v) = %v, want within [7,8]", p, got)
+		}
+	}
+
+	// Quantiles of merged histograms match the union sample's quantiles.
+	a, _ := NewHistogram(0, 100, 200)
+	b, _ := NewHistogram(0, 100, 200)
+	var sample []float64
+	rng := 12345.0
+	for i := 0; i < 500; i++ {
+		rng = math.Mod(rng*997+13, 100)
+		sample = append(sample, rng)
+		if i%2 == 0 {
+			a.Observe(rng)
+		} else {
+			b.Observe(rng)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Quantiles(sample, 0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []float64{0.5, 0.95, 0.99} {
+		if got := a.Quantile(p); math.Abs(got-exact[i]) > 1.0 {
+			t.Fatalf("merged Quantile(%v) = %v, exact = %v", p, got, exact[i])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotDiffDetectsNewGoroutine(t *testing.T) {
+	base := SnapshotGoroutines()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+	leaks := base.Leaked()
+	if len(leaks) != 1 {
+		t.Fatalf("leaked = %d goroutines, want exactly the blocked one:\n%v", len(leaks), leaks)
+	}
+	close(block)
+}
+
+func TestSnapshotDiffSettles(t *testing.T) {
+	base := SnapshotGoroutines()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	// The goroutine has exited (or is about to); within the settle
+	// window the diff must come back clean.
+	deadline := time.Now().Add(settleWait)
+	for {
+		if len(base.Leaked()) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exited goroutine still reported leaked: %v", base.Leaked())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCheckGoroutinesCleanTest(t *testing.T) {
+	CheckGoroutines(t)
+	// Spawn and fully reap a goroutine: the cleanup must not fire.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestGoroutineIDParsing(t *testing.T) {
+	if got := goroutineID("goroutine 42 [running]:\nmain.main()"); got != "42" {
+		t.Fatalf("goroutineID = %q, want 42", got)
+	}
+	if got := goroutineID("garbage"); got != "" {
+		t.Fatalf("goroutineID(garbage) = %q, want empty", got)
+	}
+}

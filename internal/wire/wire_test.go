@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/testutil"
 )
 
 func TestRequestTargetAndHost(t *testing.T) {
@@ -95,6 +96,7 @@ func TestIdlePoolBounded(t *testing.T) {
 }
 
 func TestClientClose(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ts, _ := newCountingServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte("<ok/>"))
 	}))
