@@ -19,10 +19,19 @@ GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInP
 SOAK_DURATION ?= 20s
 SOAK_OUT      ?= .
 
-.PHONY: test vet bench bench-run bench-baseline clean-bench soak
+.PHONY: test vet lint bench bench-run bench-baseline clean-bench soak
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+# lint is the required CI gate: formatting, go vet, and the project's
+# invariant analyzers (poolcheck, boundedread, ctxhygiene, detrand,
+# noalloc — see the Invariants section of DESIGN.md and cmd/wsuvet).
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/wsuvet ./...
 
 soak:
 	$(GO) run -race ./cmd/loadgen -scenario corrupt-never-wins -out $(SOAK_OUT)/soak-corrupt.json

@@ -1,0 +1,77 @@
+// Command wsuvet runs the project's invariant analyzers (poolcheck,
+// boundedread, ctxhygiene, detrand, noalloc) over the packages
+// matching its arguments and exits nonzero on any finding.
+//
+// Usage:
+//
+//	wsuvet [-c name,name] [-list] [patterns...]
+//
+// Patterns default to ./... relative to the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wsupgrade/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("wsuvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the analyzers and exit")
+	only := flags.String("c", "", "comma-separated analyzer names to run (default: all)")
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "wsuvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "wsuvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "wsuvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "wsuvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

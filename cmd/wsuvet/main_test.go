@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"poolcheck", "boundedread", "ctxhygiene", "detrand", "noalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsAUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-c", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-c nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errOut.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-c", "detrand,ctxhygiene", "wsupgrade/internal/analysis"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}

@@ -133,12 +133,15 @@ type RandomValid struct{}
 var _ Adjudicator = RandomValid{}
 
 // Adjudicate implements Adjudicator.
+//
+//wsu:noalloc
 func (RandomValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 	nvalid := countValid(replies)
 	switch {
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
 	case nvalid == 0:
+		//wsu:allow noalloc -- error construction on the all-evident path, off the hot path
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
 	}
 	pick := rng.Intn(nvalid)
@@ -179,12 +182,15 @@ type group struct {
 var groupScratch pool.Slice[group]
 
 // Adjudicate implements Adjudicator.
+//
+//wsu:noalloc
 func (Majority) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 	nvalid := countValid(replies)
 	switch {
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
 	case nvalid == 0:
+		//wsu:allow noalloc -- error construction on the all-evident path, off the hot path
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
 	}
 	groups := groupScratch.Get(len(replies))
@@ -242,6 +248,8 @@ type FastestValid struct{}
 var _ Adjudicator = FastestValid{}
 
 // Adjudicate implements Adjudicator.
+//
+//wsu:noalloc
 func (FastestValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 	// A single min-scan: only the fastest reply is delivered, so sorting
 	// (and the valid-subset scratch it needed) is wasted work.
@@ -258,6 +266,7 @@ func (FastestValid) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) 
 	case len(replies) == 0:
 		return Reply{}, ErrNoResponses
 	case best < 0:
+		//wsu:allow noalloc -- error construction on the all-evident path, off the hot path
 		return Reply{}, fmt.Errorf("%w: %d replies", ErrAllEvident, len(replies))
 	}
 	return replies[best], nil
@@ -287,6 +296,8 @@ type Preferred struct {
 var _ Adjudicator = Preferred{}
 
 // Adjudicate implements Adjudicator.
+//
+//wsu:noalloc
 func (p Preferred) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 	for _, r := range replies {
 		if r.Release == p.Release && r.Valid() {
@@ -295,10 +306,15 @@ func (p Preferred) Adjudicate(replies []Reply, rng *xrand.Rand) (Reply, error) {
 	}
 	fb := p.Fallback
 	if fb == nil {
-		fb = RandomValid{}
+		fb = defaultFallback
 	}
 	return fb.Adjudicate(replies, rng)
 }
+
+// defaultFallback is preboxed at package level: converting RandomValid{}
+// to the interface inside Adjudicate would allocate on every preferred
+// miss.
+var defaultFallback Adjudicator = RandomValid{}
 
 // Name implements Adjudicator.
 func (p Preferred) Name() string { return "preferred(" + p.Release + ")" }

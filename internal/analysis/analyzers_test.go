@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wsupgrade/internal/analysis"
+	"wsupgrade/internal/analysis/analysistest"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, ".", "./testdata/src/pc", analysis.PoolCheck)
+}
+
+func TestBoundedRead(t *testing.T) {
+	analysistest.Run(t, ".", "./testdata/src/br", analysis.BoundedRead)
+}
+
+func TestCtxHygiene(t *testing.T) {
+	analysistest.Run(t, ".", "./testdata/src/dispatch", analysis.CtxHygiene)
+}
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, ".", "./testdata/src/sim", analysis.DetRand)
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, ".", "./testdata/src/na", analysis.NoAlloc)
+}
+
+// TestRepoClean is the smoke test: the full suite over the whole module
+// must come back empty, so `make lint` stays green.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis is slow; skipped in -short mode")
+	}
+	diags, err := analysis.Run("../..", []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d.String())
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundedRead guards the PR 2 OOM vector: a replicated web service
+// under fault injection can stream an arbitrarily large (or endless)
+// body, so every read of an HTTP response or request body must go
+// through a bounded reader (httpx.ReadBounded, io.LimitReader,
+// http.MaxBytesReader). The analyzer flags io.ReadAll, io.Copy into
+// growable in-memory buffers, and decoders handed a body stream
+// directly. The transport packages internal/httpx and internal/wire
+// are exempt — they are where the bounding lives.
+var BoundedRead = &Analyzer{
+	Name: "boundedread",
+	Doc:  "HTTP bodies are read through bounded readers only",
+	Run:  runBoundedRead,
+}
+
+func runBoundedRead(pass *Pass) error {
+	if pathTail(pass.Pkg.ImportPath, "httpx", "wire") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "io", "ReadAll") || isPkgFunc(fn, "io/ioutil", "ReadAll"):
+				if len(call.Args) == 1 && isBounded(info, call.Args[0]) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s without a bound; read through httpx.ReadBounded or io.LimitReader", fn.Pkg().Name(), fn.Name())
+			case isPkgFunc(fn, "io", "Copy"):
+				if len(call.Args) == 2 && isGrowableSink(info, call.Args[0]) && !isBounded(info, call.Args[1]) {
+					pass.Reportf(call.Pos(),
+						"io.Copy into an unbounded in-memory buffer; wrap the source in io.LimitReader or use httpx.ReadBounded")
+				}
+			case isDecoderCtor(fn):
+				if len(call.Args) >= 1 && isBodySelector(info, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"%s decodes straight from a body stream; read a bounded []byte first (httpx.ReadBounded)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// isDecoderCtor matches stream-decoder constructors that slurp their
+// reader without a size bound.
+func isDecoderCtor(fn *types.Func) bool {
+	return isPkgFunc(fn, "encoding/json", "NewDecoder") ||
+		isPkgFunc(fn, "encoding/xml", "NewDecoder")
+}
+
+// isBounded reports whether the reader expression is already bounded:
+// an io.LimitReader/http.MaxBytesReader call, or anything that is not
+// an HTTP body in the first place (bytes.Reader over an in-memory
+// buffer, files, …). The check is syntactic over one expression — the
+// invariant it encodes is "never hand a raw body to an unbounded
+// sink".
+func isBounded(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		fn := calleeOf(info, call)
+		if fn != nil && (isPkgFunc(fn, "io", "LimitReader") || isPkgFunc(fn, "net/http", "MaxBytesReader")) {
+			return true
+		}
+	}
+	return !isBodySelector(info, e)
+}
+
+// isBodySelector matches expressions of the shape <x>.Body where x is
+// an *http.Response or *http.Request.
+func isBodySelector(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return false
+	}
+	named := namedOf(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "net/http" {
+		return false
+	}
+	return named.Obj().Name() == "Response" || named.Obj().Name() == "Request"
+}
+
+// isGrowableSink matches write targets that grow without bound:
+// *bytes.Buffer and *strings.Builder.
+func isGrowableSink(info *types.Info, e ast.Expr) bool {
+	named := namedOf(info.TypeOf(ast.Unparen(e)))
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") || (path == "strings" && name == "Builder")
+}

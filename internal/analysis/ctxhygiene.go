@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxHygiene guards the PR 3 deadline bug: the request-path packages
+// (dispatch, core, fleet) must derive every deadline from the
+// consumer's incoming request context. Minting a fresh root there —
+// context.Background() or context.TODO() — detaches the dispatch from
+// the caller's cancellation and responsiveness budget, so both are
+// flagged, as is context.WithTimeout/WithDeadline applied directly to
+// such a root. Commands (package main) and tests own their lifecycle
+// and are exempt.
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc:  "request-path packages derive contexts from the request",
+	Run:  runCtxHygiene,
+}
+
+func runCtxHygiene(pass *Pass) error {
+	if !pathTail(pass.Pkg.ImportPath, "dispatch", "core", "fleet") || pass.Pkg.Name == "main" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "context", "Background"), isPkgFunc(fn, "context", "TODO"):
+				pass.Reportf(call.Pos(),
+					"context.%s() on the request path; derive the context from the incoming request", fn.Name())
+			case isPkgFunc(fn, "context", "WithTimeout"), isPkgFunc(fn, "context", "WithDeadline"):
+				if len(call.Args) >= 1 && isFreshRoot(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"context.%s rooted at a fresh context; the deadline must bound the request context", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFreshRoot matches a direct context.Background()/TODO() argument.
+func isFreshRoot(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(pass.Pkg.Info, call)
+	return fn != nil && (isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO"))
+}

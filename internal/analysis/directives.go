@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// OwnsFact is one function's //wsu:owns annotation: which of its
+// parameters (receiver included) it takes pooled ownership of, and
+// whether its result hands pooled ownership to the caller.
+type OwnsFact struct {
+	// Return marks the function as an acquire site: the caller owns
+	// the pooled result.
+	Return bool
+	// Params holds the owned parameter and receiver names.
+	Params map[string]bool
+}
+
+// NoallocFn is one //wsu:noalloc-annotated function: its identity plus
+// the source span compiler escape diagnostics are matched against.
+type NoallocFn struct {
+	// Name is the (possibly method) name, for diagnostics.
+	Name string
+	// File is the absolute source path.
+	File string
+	// StartLine and EndLine span the declaration inclusive.
+	StartLine, EndLine int
+}
+
+type allowEntry struct {
+	analyzers map[string]bool
+}
+
+// Directives holds every //wsu: annotation of a load, collected before
+// analyzers run so ownership facts resolve across packages.
+type Directives struct {
+	owns     map[string]*OwnsFact
+	noalloc  map[string][]NoallocFn
+	allows   map[string]map[int][]allowEntry
+	problems []Diagnostic
+}
+
+// CollectDirectives scans every loaded package's comments.
+func CollectDirectives(pkgs []*Package) *Directives {
+	d := &Directives{
+		owns:    map[string]*OwnsFact{},
+		noalloc: map[string][]NoallocFn{},
+		allows:  map[string]map[int][]allowEntry{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			d.collectFile(pkg, file)
+		}
+	}
+	return d
+}
+
+// Owns returns the ownership fact for a function key, or nil.
+func (d *Directives) Owns(key string) *OwnsFact { return d.owns[key] }
+
+// NoallocFuncs returns the //wsu:noalloc set of one package.
+func (d *Directives) NoallocFuncs(pkgPath string) []NoallocFn { return d.noalloc[pkgPath] }
+
+// Allowed reports whether a diagnostic of the named analyzer at
+// file:line is suppressed by a //wsu:allow directive.
+func (d *Directives) Allowed(analyzer, file string, line int) bool {
+	for _, e := range d.allows[file][line] {
+		if e.analyzers[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// Problems returns grammar violations in the directives themselves
+// (missing reasons, unknown analyzers, misplaced annotations). They are
+// reported unconditionally and cannot be suppressed.
+func (d *Directives) Problems() []Diagnostic { return d.problems }
+
+const directivePrefix = "//wsu:"
+
+func (d *Directives) collectFile(pkg *Package, file *ast.File) {
+	// Declaration-attached directives (owns, noalloc) are read from
+	// function doc comments; every doc comment seen here is excluded
+	// from the misplacement check below.
+	attached := map[*ast.Comment]bool{}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			verb, rest, isDirective := splitDirective(c.Text)
+			if !isDirective {
+				continue
+			}
+			attached[c] = true
+			switch verb {
+			case "owns":
+				d.collectOwns(pkg, fn, c, rest)
+			case "noalloc":
+				d.collectNoalloc(pkg, fn)
+			case "allow":
+				d.collectAllow(pkg, c, rest)
+			default:
+				d.problemAt(pkg, c.Pos(), "unknown directive //wsu:%s", verb)
+			}
+		}
+	}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if attached[c] {
+				continue
+			}
+			verb, rest, isDirective := splitDirective(c.Text)
+			if !isDirective {
+				continue
+			}
+			switch verb {
+			case "allow":
+				d.collectAllow(pkg, c, rest)
+			case "owns", "noalloc":
+				d.problemAt(pkg, c.Pos(),
+					"//wsu:%s must be part of a function's doc comment", verb)
+			default:
+				d.problemAt(pkg, c.Pos(), "unknown directive //wsu:%s", verb)
+			}
+		}
+	}
+}
+
+// splitDirective parses "//wsu:verb rest". Go directive convention: no
+// space between // and wsu:.
+func splitDirective(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := text[len(directivePrefix):]
+	verb, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(rest), true
+}
+
+func (d *Directives) collectOwns(pkg *Package, fn *ast.FuncDecl, c *ast.Comment, rest string) {
+	if rest == "" {
+		d.problemAt(pkg, c.Pos(),
+			"//wsu:owns needs arguments: \"return\" and/or parameter names")
+		return
+	}
+	key := declKey(pkg, fn)
+	fact := d.owns[key]
+	if fact == nil {
+		fact = &OwnsFact{Params: map[string]bool{}}
+		d.owns[key] = fact
+	}
+	names := declaredParamNames(fn)
+	for _, tok := range strings.Fields(strings.ReplaceAll(rest, ",", " ")) {
+		if tok == "return" {
+			fact.Return = true
+			continue
+		}
+		if !names[tok] {
+			d.problemAt(pkg, c.Pos(),
+				"//wsu:owns names %q, not a parameter or receiver of %s", tok, fn.Name.Name)
+			continue
+		}
+		fact.Params[tok] = true
+	}
+}
+
+// declaredParamNames returns the receiver and parameter names of fn.
+func declaredParamNames(fn *ast.FuncDecl) map[string]bool {
+	names := map[string]bool{}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, n := range f.Names {
+				names[n.Name] = true
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, n := range f.Names {
+				names[n.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+func (d *Directives) collectNoalloc(pkg *Package, fn *ast.FuncDecl) {
+	start := pkg.Fset.Position(fn.Pos())
+	end := pkg.Fset.Position(fn.End())
+	d.noalloc[pkg.ImportPath] = append(d.noalloc[pkg.ImportPath], NoallocFn{
+		Name:      fn.Name.Name,
+		File:      start.Filename,
+		StartLine: start.Line,
+		EndLine:   end.Line,
+	})
+}
+
+func (d *Directives) collectAllow(pkg *Package, c *ast.Comment, rest string) {
+	names, reason, found := strings.Cut(rest, "--")
+	reason = strings.TrimSpace(reason)
+	if !found || reason == "" {
+		d.problemAt(pkg, c.Pos(),
+			"//wsu:allow needs a justification: //wsu:allow <analyzer> -- <reason>")
+		return
+	}
+	entry := allowEntry{analyzers: map[string]bool{}}
+	for _, tok := range strings.Fields(strings.ReplaceAll(names, ",", " ")) {
+		if ByName(tok) == nil {
+			d.problemAt(pkg, c.Pos(), "//wsu:allow names unknown analyzer %q", tok)
+			continue
+		}
+		entry.analyzers[tok] = true
+	}
+	if len(entry.analyzers) == 0 {
+		d.problemAt(pkg, c.Pos(), "//wsu:allow suppresses no analyzer")
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	line := pos.Line
+	if aloneOnLine(pos) {
+		// A stand-alone allow comment suppresses the following line.
+		line++
+	}
+	if d.allows[pos.Filename] == nil {
+		d.allows[pos.Filename] = map[int][]allowEntry{}
+	}
+	d.allows[pos.Filename][line] = append(d.allows[pos.Filename][line], entry)
+}
+
+// aloneOnLine reports whether nothing but whitespace precedes the
+// comment on its source line.
+func aloneOnLine(pos token.Position) bool {
+	data, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return false
+	}
+	// Walk back from the comment's offset to the preceding newline.
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch data[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Directives) problemAt(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	d.problems = append(d.problems, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: "wsuvet",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseDirectives writes src to disk (aloneOnLine re-reads the file),
+// parses it, and collects its directives.
+func parseDirectives(t *testing.T, src string) (*Directives, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{
+		ImportPath: "example/d",
+		Name:       file.Name.Name,
+		Fset:       fset,
+		Files:      []*ast.File{file},
+		Info:       &types.Info{},
+	}
+	return CollectDirectives([]*Package{pkg}), path
+}
+
+func TestAllowPlacement(t *testing.T) {
+	d, path := parseDirectives(t, `package d
+
+func f() {
+	g() //wsu:allow detrand -- same-line case
+	//wsu:allow poolcheck -- stand-alone case targets the next line
+	h()
+}
+`)
+	if len(d.Problems()) != 0 {
+		t.Fatalf("unexpected problems: %v", d.Problems())
+	}
+	if !d.Allowed("detrand", path, 4) {
+		t.Errorf("same-line allow on line 4 not recorded")
+	}
+	if d.Allowed("poolcheck", path, 5) {
+		t.Errorf("stand-alone allow must not suppress its own line")
+	}
+	if !d.Allowed("poolcheck", path, 6) {
+		t.Errorf("stand-alone allow on line 5 must suppress line 6")
+	}
+	if d.Allowed("detrand", path, 6) {
+		t.Errorf("allow must only suppress the analyzers it names")
+	}
+}
+
+func TestDirectiveGrammarProblems(t *testing.T) {
+	d, _ := parseDirectives(t, `package d
+
+func a() {
+	x() //wsu:allow detrand
+	y() //wsu:allow detrand --
+	z() //wsu:allow nosuch -- reason given
+}
+
+//wsu:owns
+func b() {}
+
+//wsu:owns q
+func c(p int) {}
+
+//wsu:frobnicate
+func e() {}
+
+//wsu:owns return
+var v int
+
+//wsu:noalloc
+var w int
+`)
+	// Doc-comment directives are collected first, then free-floating
+	// comments in file order.
+	wantFragments := []string{
+		"needs arguments",                          // bare owns
+		`names "q", not a parameter`,               // owns naming a non-param
+		"unknown directive //wsu:frobnicate",       // unknown verb
+		"needs a justification",                    // allow with no --
+		"needs a justification",                    // allow with empty reason
+		`unknown analyzer "nosuch"`,                // allow naming no real analyzer
+		"suppresses no analyzer",                   // ...leaving that allow empty
+		"must be part of a function's doc comment", // owns on a var
+		"must be part of a function's doc comment", // noalloc on a var
+	}
+	probs := d.Problems()
+	if len(probs) != len(wantFragments) {
+		t.Fatalf("got %d problems, want %d:\n%v", len(probs), len(wantFragments), probs)
+	}
+	for i, frag := range wantFragments {
+		if !strings.Contains(probs[i].Message, frag) {
+			t.Errorf("problem %d = %q, want fragment %q", i, probs[i].Message, frag)
+		}
+	}
+}
+
+func TestNoallocSpanCollected(t *testing.T) {
+	d, path := parseDirectives(t, `package d
+
+//wsu:noalloc
+func f(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`)
+	fns := d.NoallocFuncs("example/d")
+	if len(fns) != 1 {
+		t.Fatalf("got %d noalloc functions, want 1", len(fns))
+	}
+	fn := fns[0]
+	if fn.Name != "f" || fn.File != path || fn.StartLine != 4 || fn.EndLine != 10 {
+		t.Errorf("span = %+v, want f %s 4..10", fn, path)
+	}
+}

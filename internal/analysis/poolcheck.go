@@ -1,0 +1,974 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolCheck enforces the recycling discipline of pooled values: every
+// pool.Slice.Get / sync.Pool.Get (and every call to a function
+// annotated //wsu:owns return) must reach a matching Put on every
+// return path of the acquiring function, or be explicitly handed off
+// to a function annotated //wsu:owns <param>. Pooled values must stay
+// function-local: storing one to shared state (a field behind a
+// pointer, a global, a map, a channel) or returning one from an
+// unannotated function is a diagnostic.
+//
+// The check is a structured abstract interpretation of each function
+// body: path-sensitive through if/switch/select, alias-tracking
+// through plain assignment, slicing, append-in-place and composite
+// fields of local structs, and aware of the repo's idioms — comma-ok
+// type assertions over sync.Pool.Get track only the assertion-success
+// path, deferred closures and goroutine closures that contain a
+// recycling call count as releases at their spawn point, and an
+// explicit overwrite of the last variable holding a pooled value is an
+// intentional drop (the sync.Pool GC-fallback pattern), not a leak.
+// Functions containing goto are skipped. Intentional conditional drops
+// (e.g. abandoning a poisoned pooled object to the GC) are documented
+// with //wsu:allow poolcheck -- <reason>.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled values are recycled on every path and never retained",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fn)
+			// Function literals are checked as functions in their own
+			// right too: a closure that acquires must itself recycle.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w := newPoolWalker(pass, nil)
+					st := newPCState()
+					w.walkStmt(st, lit.Body)
+					w.checkExit(st, lit.Body.End())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkPoolFunc(pass *Pass, fn *ast.FuncDecl) {
+	if containsGoto(fn.Body) {
+		return
+	}
+	fact := pass.Dirs.Owns(declKey(pass.Pkg, fn))
+	w := newPoolWalker(pass, fact)
+	st := newPCState()
+	if fact != nil {
+		w.bindOwnedParams(st, fn, fact)
+	}
+	if term := w.walkStmt(st, fn.Body); !term {
+		w.checkExit(st, fn.Body.End())
+	}
+}
+
+func containsGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter state
+
+// vkey names one tracked location: a local variable, or a field of a
+// local (non-pointer) struct variable.
+type vkey struct {
+	obj   types.Object
+	field string
+}
+
+type setStatus int8
+
+const (
+	statusLive setStatus = iota + 1
+	statusReleased
+)
+
+// acquireSite describes one acquisition, shared across path states.
+type acquireSite struct {
+	id    int
+	pos   token.Pos
+	desc  string
+	okObj types.Object // comma-ok guard variable, if any
+}
+
+// pcState is the per-path interpreter state.
+type pcState struct {
+	member map[vkey]int
+	status map[int]setStatus
+}
+
+func newPCState() *pcState {
+	return &pcState{member: map[vkey]int{}, status: map[int]setStatus{}}
+}
+
+func (s *pcState) clone() *pcState {
+	c := newPCState()
+	for k, v := range s.member {
+		c.member[k] = v
+	}
+	for k, v := range s.status {
+		c.status[k] = v
+	}
+	return c
+}
+
+// merge joins a sibling path back in: a set live on either path stays
+// live (a put on one branch does not discharge the other), and
+// membership is unioned.
+func (s *pcState) merge(o *pcState) {
+	for k, v := range o.member {
+		if _, ok := s.member[k]; !ok {
+			s.member[k] = v
+		}
+	}
+	for id, st := range o.status {
+		cur, ok := s.status[id]
+		if !ok || st == statusLive || cur == statusLive {
+			if st == statusLive || cur == statusLive {
+				s.status[id] = statusLive
+			} else {
+				s.status[id] = statusReleased
+			}
+		}
+	}
+}
+
+func (s *pcState) members(id int) int {
+	n := 0
+	for _, v := range s.member {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
+type loopFrame struct {
+	entryIDs map[int]bool
+}
+
+type poolWalker struct {
+	pass     *Pass
+	info     *types.Info
+	fact     *OwnsFact
+	sites    map[int]*acquireSite
+	nextID   int
+	reported map[int]bool
+	loops    []loopFrame
+}
+
+func newPoolWalker(pass *Pass, fact *OwnsFact) *poolWalker {
+	return &poolWalker{
+		pass:     pass,
+		info:     pass.Pkg.Info,
+		fact:     fact,
+		sites:    map[int]*acquireSite{},
+		reported: map[int]bool{},
+	}
+}
+
+func (w *poolWalker) newSite(pos token.Pos, desc string) *acquireSite {
+	w.nextID++
+	site := &acquireSite{id: w.nextID, pos: pos, desc: desc}
+	w.sites[w.nextID] = site
+	return site
+}
+
+func (w *poolWalker) bindOwnedParams(st *pcState, fn *ast.FuncDecl, fact *OwnsFact) {
+	bind := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if !fact.Params[name.Name] {
+					continue
+				}
+				obj := w.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				site := w.newSite(name.Pos(), "owned parameter "+name.Name)
+				st.member[vkey{obj: obj}] = site.id
+				st.status[site.id] = statusLive
+			}
+		}
+	}
+	bind(fn.Recv)
+	bind(fn.Type.Params)
+}
+
+// release marks a set recycled, flagging double releases on linear
+// paths.
+func (w *poolWalker) release(st *pcState, id int, pos token.Pos) {
+	if st.status[id] == statusReleased && !w.reported[id] {
+		w.reported[id] = true
+		w.pass.Reportf(pos, "pooled value (%s) recycled twice", w.sites[id].desc)
+	}
+	st.status[id] = statusReleased
+}
+
+// reportLive flags every live set once, at its acquisition site.
+func (w *poolWalker) reportLive(st *pcState, only map[int]bool) {
+	for id, status := range st.status {
+		if status != statusLive || w.reported[id] {
+			continue
+		}
+		if only != nil && !only[id] {
+			continue
+		}
+		w.reported[id] = true
+		site := w.sites[id]
+		if strings.HasPrefix(site.desc, "owned parameter") {
+			w.pass.Reportf(site.pos,
+				"%s is not recycled on every path (missing Put or //wsu:owns handoff)", site.desc)
+		} else {
+			w.pass.Reportf(site.pos,
+				"pooled value from %s is not recycled on every path (missing Put or //wsu:owns handoff)", site.desc)
+		}
+	}
+}
+
+// checkExit runs the all-paths obligation at a function exit.
+func (w *poolWalker) checkExit(st *pcState, _ token.Pos) {
+	w.reportLive(st, nil)
+}
+
+// iterationLocal returns the ids acquired after the innermost loop was
+// entered — the sets a continue/break/body-end abandons.
+func (w *poolWalker) iterationLocal(st *pcState) map[int]bool {
+	if len(w.loops) == 0 {
+		return map[int]bool{}
+	}
+	frame := w.loops[len(w.loops)-1]
+	local := map[int]bool{}
+	for id := range st.status {
+		if !frame.entryIDs[id] {
+			local[id] = true
+		}
+	}
+	return local
+}
+
+// ---------------------------------------------------------------------------
+// Statement walk
+
+// walkStmt interprets s, returning true when control cannot continue
+// past it (return, branch, panic).
+func (w *poolWalker) walkStmt(st *pcState, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt, *ast.IncDecStmt:
+		return false
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if w.walkStmt(st, sub) {
+				return true
+			}
+		}
+		return false
+	case *ast.LabeledStmt:
+		return w.walkStmt(st, s.Stmt)
+	case *ast.ExprStmt:
+		if isPanicCall(w.info, s.X) {
+			return true
+		}
+		w.evalExpr(st, s.X)
+		return false
+	case *ast.AssignStmt:
+		w.walkAssign(st, s)
+		return false
+	case *ast.DeclStmt:
+		w.walkDecl(st, s)
+		return false
+	case *ast.SendStmt:
+		w.evalExpr(st, s.Chan)
+		if id := w.evalExpr(st, s.Value); id >= 0 && st.status[id] == statusLive {
+			w.pass.Reportf(s.Arrow,
+				"pooled value (%s) sent to a channel; pooled values must stay function-local", w.sites[id].desc)
+			w.reported[id] = true
+			st.status[id] = statusReleased
+		}
+		return false
+	case *ast.ReturnStmt:
+		w.walkReturn(st, s)
+		return true
+	case *ast.BranchStmt:
+		// Approximation: labeled break/continue are treated like their
+		// unlabeled forms against the innermost loop.
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			w.reportLive(st, w.iterationLocal(st))
+		}
+		return true
+	case *ast.IfStmt:
+		return w.walkIf(st, s)
+	case *ast.ForStmt:
+		w.walkStmt(st, s.Init)
+		w.evalExpr(st, s.Cond)
+		w.walkLoopBody(st, s.Body)
+		w.walkStmt(st, s.Post)
+		return false
+	case *ast.RangeStmt:
+		w.evalExpr(st, s.X)
+		w.walkLoopBody(st, s.Body)
+		return false
+	case *ast.SwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.evalExpr(st, s.Tag)
+		return w.walkCases(st, s.Body, false)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkStmt(st, s.Assign)
+		return w.walkCases(st, s.Body, false)
+	case *ast.SelectStmt:
+		return w.walkCases(st, s.Body, true)
+	case *ast.DeferStmt:
+		w.applyHandoff(st, s.Call)
+		return false
+	case *ast.GoStmt:
+		w.applyHandoff(st, s.Call)
+		return false
+	default:
+		return false
+	}
+}
+
+// walkLoopBody interprets a loop body once, checking that sets
+// acquired inside one iteration do not leak into the next.
+func (w *poolWalker) walkLoopBody(st *pcState, body *ast.BlockStmt) {
+	entry := map[int]bool{}
+	for id := range st.status {
+		entry[id] = true
+	}
+	w.loops = append(w.loops, loopFrame{entryIDs: entry})
+	term := w.walkStmt(st, body)
+	if !term {
+		w.reportLive(st, w.iterationLocal(st))
+	}
+	w.loops = w.loops[:len(w.loops)-1]
+}
+
+// walkIf interprets both branches on state copies and merges the
+// surviving ones, refining comma-ok acquisition guards.
+func (w *poolWalker) walkIf(st *pcState, s *ast.IfStmt) bool {
+	w.walkStmt(st, s.Init)
+	w.evalExpr(st, s.Cond)
+
+	thenSt := st.clone()
+	elseSt := st.clone()
+	w.refineAssertGuard(thenSt, elseSt, s.Cond)
+
+	thenTerm := w.walkStmt(thenSt, s.Body)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.walkStmt(elseSt, s.Else)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		*st = *elseSt
+	case elseTerm:
+		*st = *thenSt
+	default:
+		thenSt.merge(elseSt)
+		*st = *thenSt
+	}
+	return false
+}
+
+// refineAssertGuard applies comma-ok knowledge: for `v, ok :=
+// pool.Get().(*T)`, v is only a pooled acquisition on the ok path.
+func (w *poolWalker) refineAssertGuard(thenSt, elseSt *pcState, cond ast.Expr) {
+	okBranch, notOkBranch := thenSt, elseSt
+	cond = ast.Unparen(cond)
+	if not, ok := cond.(*ast.UnaryExpr); ok && not.Op == token.NOT {
+		cond = ast.Unparen(not.X)
+		okBranch, notOkBranch = elseSt, thenSt
+	}
+	ident, ok := cond.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.info.Uses[ident]
+	if obj == nil {
+		return
+	}
+	for id, status := range notOkBranch.status {
+		if status == statusLive && w.sites[id].okObj == obj {
+			notOkBranch.status[id] = statusReleased
+		}
+	}
+	_ = okBranch
+}
+
+// walkCases interprets each case clause on a state copy and merges.
+func (w *poolWalker) walkCases(st *pcState, body *ast.BlockStmt, isSelect bool) bool {
+	var merged *pcState
+	allTerm := true
+	hasDefault := false
+	for _, clause := range body.List {
+		caseSt := st.clone()
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.evalExpr(caseSt, e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			w.walkStmt(caseSt, c.Comm)
+			stmts = c.Body
+		}
+		term := false
+		for _, sub := range stmts {
+			if term = w.walkStmt(caseSt, sub); term {
+				break
+			}
+		}
+		if !term {
+			allTerm = false
+			if merged == nil {
+				merged = caseSt
+			} else {
+				merged.merge(caseSt)
+			}
+		}
+	}
+	// A switch without a default may fall through untouched; a select
+	// without a default blocks until one case runs.
+	fallPast := !hasDefault && !isSelect
+	if merged == nil {
+		if len(body.List) > 0 && !fallPast && allTerm {
+			return true
+		}
+		return false
+	}
+	if fallPast {
+		merged.merge(st)
+	}
+	*st = *merged
+	return false
+}
+
+func (w *poolWalker) walkReturn(st *pcState, s *ast.ReturnStmt) {
+	for _, res := range s.Results {
+		id := w.evalExpr(st, res)
+		if id < 0 || st.status[id] != statusLive {
+			continue
+		}
+		if w.fact != nil && w.fact.Return {
+			w.release(st, id, s.Pos())
+			continue
+		}
+		w.pass.Reportf(s.Pos(),
+			"pooled value (%s) returned from a function not annotated //wsu:owns return", w.sites[id].desc)
+		w.reported[id] = true
+		st.status[id] = statusReleased
+	}
+	w.reportLive(st, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Assignments
+
+func (w *poolWalker) walkAssign(st *pcState, s *ast.AssignStmt) {
+	// Tuple forms: one call or comma-ok assertion feeding several
+	// left-hand sides; the pooled value (if any) is the first.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		id := w.evalRHS(st, s.Rhs[0], s)
+		w.assignTo(st, s.Lhs[0], id)
+		for _, extra := range s.Lhs[1:] {
+			w.assignTo(st, extra, -1)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.CompositeLit); ok {
+			if ident, ok := ast.Unparen(lhs).(*ast.Ident); ok && ident.Name != "_" {
+				w.assignComposite(st, ident, lit)
+				continue
+			}
+		}
+		id := w.evalRHS(st, s.Rhs[i], s)
+		w.assignTo(st, lhs, id)
+	}
+}
+
+// assignComposite binds pooled values stored in fields of a freshly
+// built local struct value (released later through v.Field selectors).
+func (w *poolWalker) assignComposite(st *pcState, ident *ast.Ident, lit *ast.CompositeLit) {
+	obj := w.info.Defs[ident]
+	if obj == nil {
+		obj = w.info.Uses[ident]
+	}
+	if obj == nil {
+		w.evalExpr(st, lit)
+		return
+	}
+	for key := range st.member {
+		if key.obj == obj {
+			w.dropVar(st, key)
+		}
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			w.evalExpr(st, elt)
+			continue
+		}
+		fieldIdent, isIdent := kv.Key.(*ast.Ident)
+		id := w.evalExpr(st, kv.Value)
+		if id >= 0 && isIdent {
+			w.bindVar(st, vkey{obj: obj, field: fieldIdent.Name}, id)
+		}
+	}
+}
+
+func (w *poolWalker) walkDecl(st *pcState, s *ast.DeclStmt) {
+	gen, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gen.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) {
+				break
+			}
+			id := w.evalExpr(st, vs.Values[i])
+			if id >= 0 {
+				obj := w.info.Defs[name]
+				if obj != nil {
+					w.bindVar(st, vkey{obj: obj}, id)
+				}
+			}
+		}
+	}
+}
+
+// evalRHS evaluates one right-hand side, recognizing the comma-ok
+// acquisition guard `v, ok := pool.Get().(*T)`.
+func (w *poolWalker) evalRHS(st *pcState, rhs ast.Expr, s *ast.AssignStmt) int {
+	if assert, ok := ast.Unparen(rhs).(*ast.TypeAssertExpr); ok && len(s.Lhs) == 2 {
+		id := w.evalExpr(st, assert.X)
+		if id >= 0 {
+			if okIdent, ok := s.Lhs[1].(*ast.Ident); ok && okIdent.Name != "_" {
+				if obj := w.info.Defs[okIdent]; obj != nil {
+					w.sites[id].okObj = obj
+				}
+			}
+		}
+		return id
+	}
+	return w.evalExpr(st, rhs)
+}
+
+// assignTo binds or drops tracking for one assignment target.
+func (w *poolWalker) assignTo(st *pcState, lhs ast.Expr, id int) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			if id >= 0 && st.status[id] == statusLive && st.members(id) == 0 {
+				// `_ = acquire()`: deliberately dropped.
+				st.status[id] = statusReleased
+			}
+			return
+		}
+		obj := w.info.Defs[lhs]
+		if obj == nil {
+			obj = w.info.Uses[lhs]
+		}
+		if obj == nil {
+			return
+		}
+		key := vkey{obj: obj}
+		if id >= 0 {
+			if isPackageLevel(obj) {
+				w.reportStore(st, lhs.Pos(), id)
+				return
+			}
+			w.bindVar(st, key, id)
+			return
+		}
+		w.dropVar(st, key)
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(lhs.X).(*ast.Ident)
+		if !ok {
+			if id >= 0 && st.status[id] == statusLive {
+				w.reportStore(st, lhs.Pos(), id)
+			}
+			return
+		}
+		baseObj := w.info.Uses[base]
+		if baseObj == nil {
+			baseObj = w.info.Defs[base]
+		}
+		if id >= 0 {
+			if baseObj != nil && isLocalValueVar(baseObj) {
+				w.bindVar(st, vkey{obj: baseObj, field: lhs.Sel.Name}, id)
+				return
+			}
+			w.reportStore(st, lhs.Pos(), id)
+			return
+		}
+		if baseObj != nil {
+			w.dropVar(st, vkey{obj: baseObj, field: lhs.Sel.Name})
+		}
+	case *ast.StarExpr, *ast.IndexExpr:
+		if id >= 0 && st.status[id] == statusLive {
+			w.reportStore(st, lhs.Pos(), id)
+		}
+	}
+}
+
+func (w *poolWalker) reportStore(st *pcState, pos token.Pos, id int) {
+	w.pass.Reportf(pos,
+		"pooled value (%s) stored to shared state; pooled values must stay function-local", w.sites[id].desc)
+	w.reported[id] = true
+	st.status[id] = statusReleased
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Parent().Parent() == types.Universe
+}
+
+// isLocalValueVar reports whether obj is a local, non-pointer variable:
+// a composite whose fields the function still owns. A pointer-typed
+// base means the field lives on a shared object.
+func isLocalValueVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return false // package-level
+	}
+	_, isPtr := v.Type().Underlying().(*types.Pointer)
+	return !isPtr
+}
+
+// bindVar makes key a member of set id, dropping any previous
+// membership.
+func (w *poolWalker) bindVar(st *pcState, key vkey, id int) {
+	if prev, ok := st.member[key]; ok && prev != id {
+		w.dropVar(st, key)
+	}
+	st.member[key] = id
+}
+
+// dropVar removes key's membership; when the last reference to a live
+// set is overwritten, the value was deliberately dropped (the pooled
+// object falls back to the GC), which is legal for sync.Pool-style
+// recycling.
+func (w *poolWalker) dropVar(st *pcState, key vkey) {
+	id, ok := st.member[key]
+	if !ok {
+		return
+	}
+	delete(st.member, key)
+	if st.members(id) == 0 && st.status[id] == statusLive {
+		st.status[id] = statusReleased
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// evalExpr interprets an expression, returning the id of the tracked
+// set the expression's value belongs to, or -1.
+func (w *poolWalker) evalExpr(st *pcState, e ast.Expr) int {
+	switch e := e.(type) {
+	case nil:
+		return -1
+	case *ast.Ident:
+		obj := w.info.Uses[e]
+		if obj == nil {
+			obj = w.info.Defs[e]
+		}
+		if obj == nil {
+			return -1
+		}
+		if id, ok := st.member[vkey{obj: obj}]; ok {
+			return id
+		}
+		return -1
+	case *ast.SelectorExpr:
+		w.evalExpr(st, e.X)
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			baseObj := w.info.Uses[base]
+			if baseObj == nil {
+				baseObj = w.info.Defs[base]
+			}
+			if baseObj != nil {
+				if id, ok := st.member[vkey{obj: baseObj, field: e.Sel.Name}]; ok {
+					return id
+				}
+			}
+		}
+		return -1
+	case *ast.ParenExpr:
+		return w.evalExpr(st, e.X)
+	case *ast.SliceExpr:
+		w.evalExpr(st, e.Low)
+		w.evalExpr(st, e.High)
+		w.evalExpr(st, e.Max)
+		return w.evalExpr(st, e.X)
+	case *ast.TypeAssertExpr:
+		return w.evalExpr(st, e.X)
+	case *ast.CallExpr:
+		return w.applyCall(st, e)
+	case *ast.UnaryExpr:
+		w.evalExpr(st, e.X)
+		return -1
+	case *ast.BinaryExpr:
+		w.evalExpr(st, e.X)
+		w.evalExpr(st, e.Y)
+		return -1
+	case *ast.StarExpr:
+		w.evalExpr(st, e.X)
+		return -1
+	case *ast.IndexExpr:
+		w.evalExpr(st, e.X)
+		w.evalExpr(st, e.Index)
+		return -1
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.evalExpr(st, elt)
+		}
+		return -1
+	case *ast.KeyValueExpr:
+		w.evalExpr(st, e.Value)
+		return -1
+	case *ast.FuncLit:
+		// A closure built here may be the release path (handed to a
+		// helper, stored for later): optimistically credit any
+		// recycling calls it contains against the current state.
+		w.scanClosureReleases(st, e)
+		return -1
+	default:
+		return -1
+	}
+}
+
+// applyCall interprets one call: acquisitions (pool Gets, //wsu:owns
+// return), releases (pool Puts, //wsu:owns parameters and receivers),
+// and the threading idiom `f(pool.Get(...))` whose result carries the
+// pooled buffer onward (oracle.JudgeInto-style caller buffers).
+func (w *poolWalker) applyCall(st *pcState, call *ast.CallExpr) int {
+	// Builtin append keeps the identity of its first argument (growing
+	// is a legal capacity upgrade for a recycled slice).
+	if isBuiltin(w.info, call.Fun, "append") && len(call.Args) > 0 {
+		first := w.evalExpr(st, call.Args[0])
+		for _, a := range call.Args[1:] {
+			w.evalExpr(st, a)
+		}
+		return first
+	}
+
+	argSets := make([]int, len(call.Args))
+	argAcquired := make([]bool, len(call.Args))
+	for i, a := range call.Args {
+		argSets[i] = w.evalExpr(st, a)
+		argAcquired[i] = argSets[i] >= 0 && isAcquireExpr(a)
+	}
+
+	fn := calleeOf(w.info, call)
+	released := map[int]bool{}
+
+	if fn != nil {
+		if kind, isGet := poolMethod(fn); isGet != "" {
+			switch isGet {
+			case "Get":
+				site := w.newSite(call.Pos(), kind+".Get")
+				st.status[site.id] = statusLive
+				return site.id
+			case "Put":
+				if len(argSets) > 0 && argSets[0] >= 0 {
+					w.release(st, argSets[0], call.Pos())
+					released[argSets[0]] = true
+				}
+				return -1
+			}
+		}
+		if fact := w.pass.Dirs.Owns(funcKey(fn)); fact != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil {
+				if recv := sig.Recv(); recv != nil && fact.Params[recv.Name()] {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if id := w.evalExpr(st, sel.X); id >= 0 {
+							w.release(st, id, call.Pos())
+							released[id] = true
+						}
+					}
+				}
+				params := sig.Params()
+				for i := 0; i < params.Len() && i < len(argSets); i++ {
+					if fact.Params[params.At(i).Name()] && argSets[i] >= 0 {
+						w.release(st, argSets[i], call.Pos())
+						released[argSets[i]] = true
+					}
+				}
+			}
+			if fact.Return {
+				site := w.newSite(call.Pos(), fn.Name()+" (//wsu:owns return)")
+				st.status[site.id] = statusLive
+				return site.id
+			}
+		}
+	}
+
+	// Threading: an acquisition passed straight into a call travels on
+	// through the call's result (caller-buffer APIs hand the same
+	// backing slice back).
+	for i, a := range argSets {
+		if argAcquired[i] && a >= 0 && !released[a] {
+			return a
+		}
+	}
+	return -1
+}
+
+// isAcquireExpr reports whether e is syntactically an acquisition
+// (possibly sliced), so its pooled identity may thread through an
+// enclosing call.
+func isAcquireExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.SliceExpr:
+		return isAcquireExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return isAcquireExpr(e.X)
+	}
+	return false
+}
+
+// applyHandoff processes a go/defer call: a deferred or spawned
+// closure that recycles tracked values releases them at the spawn
+// point (covering panic paths and post-delivery background
+// collection); a plain deferred call is interpreted directly.
+func (w *poolWalker) applyHandoff(st *pcState, call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.scanClosureReleases(st, lit)
+		return
+	}
+	w.applyCall(st, call)
+}
+
+// scanClosureReleases credits recycling calls inside a closure body
+// against the enclosing function's tracked sets.
+func (w *poolWalker) scanClosureReleases(st *pcState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(w.info, call)
+		if fn == nil {
+			return true
+		}
+		if _, m := poolMethod(fn); m == "Put" && len(call.Args) > 0 {
+			if id := w.evalExpr(st, call.Args[0]); id >= 0 {
+				st.status[id] = statusReleased
+			}
+			return true
+		}
+		if fact := w.pass.Dirs.Owns(funcKey(fn)); fact != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil {
+				return true
+			}
+			if recv := sig.Recv(); recv != nil && fact.Params[recv.Name()] {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if id := w.evalExpr(st, sel.X); id >= 0 {
+						st.status[id] = statusReleased
+					}
+				}
+			}
+			params := sig.Params()
+			for i := 0; i < params.Len() && i < len(call.Args); i++ {
+				if fact.Params[params.At(i).Name()] {
+					if id := w.evalExpr(st, call.Args[i]); id >= 0 {
+						st.status[id] = statusReleased
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Pool type recognition
+
+// poolMethod classifies fn as a Get/Put on one of the recognized pool
+// types: the repo's pool.Slice and the standard library's sync.Pool.
+func poolMethod(fn *types.Func) (kind, method string) {
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return "", ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	path := named.Obj().Pkg().Path()
+	switch {
+	case named.Obj().Name() == "Slice" && strings.HasSuffix(path, "internal/pool"):
+		return "pool.Slice", fn.Name()
+	case named.Obj().Name() == "Pool" && path == "sync":
+		return "sync.Pool", fn.Name()
+	}
+	return "", ""
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	ident, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isBuiltin(info, call.Fun, "panic")
+}

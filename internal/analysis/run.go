@@ -1,0 +1,36 @@
+package analysis
+
+// Run loads the packages matching patterns under dir, collects the
+// //wsu: directives, runs every analyzer over every package, applies
+// //wsu:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Directive-grammar problems are appended
+// unconditionally: a malformed suppression must not silently widen
+// what it suppresses.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	dirs := CollectDirectives(pkgs)
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Dirs: dirs, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if dirs.Allowed(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, dirs.Problems()...)
+	sortDiags(out)
+	return out, nil
+}

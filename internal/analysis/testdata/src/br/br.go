@@ -1,0 +1,80 @@
+// Package br is boundedread's golden package.
+package br
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+)
+
+type payload struct {
+	N int `json:"n"`
+}
+
+// slurp reads a response body without any bound.
+func slurp(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body) // want `without a bound`
+}
+
+// slurpRequest reads a request body without any bound.
+func slurpRequest(req *http.Request) ([]byte, error) {
+	return io.ReadAll(req.Body) // want `without a bound`
+}
+
+// bounded reads through io.LimitReader.
+func bounded(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+
+// inMemory reads a non-body reader; no bound required.
+func inMemory(data []byte) ([]byte, error) {
+	return io.ReadAll(bytes.NewReader(data))
+}
+
+// copyUnbounded streams a body into a growable buffer.
+func copyUnbounded(resp *http.Response) error {
+	var buf bytes.Buffer
+	_, err := io.Copy(&buf, resp.Body) // want `unbounded in-memory buffer`
+	return err
+}
+
+// copyBounded limits the source first.
+func copyBounded(resp *http.Response) error {
+	var buf bytes.Buffer
+	_, err := io.Copy(&buf, io.LimitReader(resp.Body, 1<<20))
+	return err
+}
+
+// copyToFile streams to a non-growable sink; the file is the bound.
+func copyToFile(f *os.File, resp *http.Response) error {
+	_, err := io.Copy(f, resp.Body)
+	return err
+}
+
+// decodeStream decodes straight off the body.
+func decodeStream(resp *http.Response) (payload, error) {
+	var p payload
+	err := json.NewDecoder(resp.Body).Decode(&p) // want `decodes straight from a body stream`
+	return p, err
+}
+
+// decodeBytes decodes from an already-bounded buffer.
+func decodeBytes(data []byte) (payload, error) {
+	var p payload
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&p)
+	return p, err
+}
+
+// allowed slurps with a justified suppression.
+func allowed(resp *http.Response) ([]byte, error) {
+	//wsu:allow boundedread -- testdata: trusted local endpoint
+	return io.ReadAll(resp.Body)
+}
+
+// badAllow's suppression has no justification, so the directive itself
+// is a diagnostic and the finding is not suppressed.
+func badAllow(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body) //wsu:allow boundedread // want `without a bound` `needs a justification`
+}

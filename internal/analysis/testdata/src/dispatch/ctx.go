@@ -1,0 +1,35 @@
+// Package dispatch is ctxhygiene's golden package; the directory name
+// opts it into the request-path policy.
+package dispatch
+
+import (
+	"context"
+	"time"
+)
+
+// fresh mints a root context on the request path.
+func fresh() context.Context {
+	return context.Background() // want `context.Background\(\) on the request path`
+}
+
+// todo mints the placeholder root.
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) on the request path`
+}
+
+// detached roots a deadline in a fresh context.
+func detached() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), time.Second) // want `rooted at a fresh context` `context.Background\(\) on the request path`
+}
+
+// derived bounds the incoming request context; this is the hygienic
+// form.
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}
+
+// allowed mints a root with a justified suppression.
+func allowed() context.Context {
+	//wsu:allow ctxhygiene -- testdata: owned background loop
+	return context.Background()
+}

@@ -1,0 +1,34 @@
+// Package na is noalloc's golden package: //wsu:noalloc annotations
+// checked against the compiler's escape analysis.
+package na
+
+// sum is allocation-free and annotated; no diagnostic.
+//
+//wsu:noalloc
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// boxed allocates inside an annotated function.
+//
+//wsu:noalloc
+func boxed() *int {
+	return new(int) // want `allocates`
+}
+
+// grows allocates deliberately on an acknowledged line.
+//
+//wsu:noalloc
+func grows(n int) []int {
+	//wsu:allow noalloc -- testdata: deliberate cold-path allocation
+	return make([]int, n)
+}
+
+// helper allocates but carries no annotation; no diagnostic.
+func helper(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,170 @@
+// Package pc is poolcheck's golden package: each function exercises
+// one acquisition/release pattern, with // want comments marking the
+// expected diagnostics.
+package pc
+
+import (
+	"errors"
+	"sync"
+
+	"wsupgrade/internal/pool"
+)
+
+var bufs pool.Slice[byte]
+
+var boxes = sync.Pool{New: func() interface{} { return new(box) }}
+
+type box struct{ n int }
+
+type record struct{ scratch []byte }
+
+var sink []byte
+
+var errFail = errors.New("fail")
+
+// leakOnError forgets its buffer on the early return.
+func leakOnError(fail bool) error {
+	b := bufs.Get(8) // want `not recycled on every path`
+	if fail {
+		return errFail
+	}
+	bufs.Put(b)
+	return nil
+}
+
+// balanced recycles on every path through a deferred closure.
+func balanced(fail bool) error {
+	b := bufs.Get(8)
+	defer func() { bufs.Put(b) }()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// escapes returns a pooled value without an owns annotation.
+func escapes() []byte {
+	b := bufs.Get(8)
+	return b // want `not annotated`
+}
+
+// acquire hands its pooled result to the caller.
+//
+//wsu:owns return
+func acquire() []byte {
+	return bufs.Get(8)
+}
+
+// free takes ownership of b and recycles it.
+//
+//wsu:owns b
+func free(b []byte) {
+	bufs.Put(b)
+}
+
+// handoff is clean: acquire through the annotated helper, release
+// through the annotated sink.
+func handoff() {
+	b := acquire()
+	free(b)
+}
+
+// forgets drops the value obtained from the annotated acquirer.
+func forgets() {
+	b := acquire() // want `not recycled on every path`
+	_ = len(b)
+}
+
+// keeps stores a pooled value to a global.
+func keeps() {
+	b := bufs.Get(8)
+	sink = b // want `stored to shared state`
+}
+
+// retains stores a pooled value in a struct behind a pointer.
+func retains(r *record) {
+	r.scratch = bufs.Get(8) // want `stored to shared state`
+}
+
+// localStruct keeps a pooled slice in a local composite value and
+// recycles it through the field selector.
+func localStruct() {
+	r := record{scratch: bufs.Get(8)}
+	r.scratch = append(r.scratch, 1)
+	bufs.Put(r.scratch)
+}
+
+// pooledBox recycles only when the pool actually yielded a box.
+func pooledBox() int {
+	if b, ok := boxes.Get().(*box); ok {
+		n := b.n
+		boxes.Put(b)
+		return n
+	}
+	return 0
+}
+
+// missedBox forgets the put on the hit path.
+func missedBox() int {
+	if b, ok := boxes.Get().(*box); ok { // want `not recycled on every path`
+		return b.n
+	}
+	return 0
+}
+
+// doublePut recycles twice.
+func doublePut() {
+	b := bufs.Get(8)
+	bufs.Put(b)
+	bufs.Put(b) // want `recycled twice`
+}
+
+// dropped abandons its buffer deliberately, with a justified allow.
+func dropped() {
+	//wsu:allow poolcheck -- testdata: deliberate drop to the GC
+	b := bufs.Get(8)
+	_ = len(b)
+}
+
+// background hands the buffer to a goroutine that frees it.
+func background() {
+	b := acquire()
+	go func() {
+		free(b)
+	}()
+}
+
+// badOwner takes ownership and forgets.
+//
+//wsu:owns b
+func badOwner(b []byte) { // want `owned parameter b is not recycled`
+	_ = len(b)
+}
+
+// fill copies into dst and returns it, like the JudgeInto oracles.
+func fill(dst []byte) []byte {
+	return append(dst, 1)
+}
+
+// threaded recycles the buffer that traveled through fill.
+func threaded() {
+	out := fill(bufs.Get(4))
+	bufs.Put(out)
+}
+
+// loopLeak reacquires every iteration and abandons on break.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := bufs.Get(4) // want `not recycled on every path`
+		if i == 3 {
+			break
+		}
+		bufs.Put(b)
+	}
+}
+
+// publish sends a pooled value away.
+func publish(ch chan []byte) {
+	b := bufs.Get(4)
+	ch <- b // want `sent to a channel`
+}

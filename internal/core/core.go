@@ -711,6 +711,12 @@ func (e *Engine) StartHealthChecks(interval time.Duration) (stop func(), err err
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	// The prober is an owned background loop, detached from any request
+	// by design. Every probe derives from a root that stop() cancels, so
+	// shutdown interrupts an in-flight health check instead of waiting
+	// out its full timeout.
+	//wsu:allow ctxhygiene -- owned background prober; the root is cancelled by stop()
+	root, cancelRoot := context.WithCancel(context.Background())
 	go func() {
 		defer close(finished)
 		ticker := time.NewTicker(interval)
@@ -720,7 +726,7 @@ func (e *Engine) StartHealthChecks(interval time.Duration) (stop func(), err err
 			case <-done:
 				return
 			case <-ticker.C:
-				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				ctx, cancel := context.WithTimeout(root, interval)
 				e.CheckHealth(ctx)
 				cancel()
 				if e.healthCheckDone != nil {
@@ -731,7 +737,10 @@ func (e *Engine) StartHealthChecks(interval time.Duration) (stop func(), err err
 	}()
 	var once sync.Once
 	return func() {
-		once.Do(func() { close(done) })
+		once.Do(func() {
+			cancelRoot()
+			close(done)
+		})
 		<-finished
 	}, nil
 }

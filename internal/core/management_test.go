@@ -447,3 +447,41 @@ func TestRetryToleratesTransientFailures(t *testing.T) {
 	}
 	_ = e
 }
+
+// Regression test for a shutdown-latency bug the ctxhygiene analyzer
+// surfaced: probes used to derive from context.Background(), so stop()
+// had to wait out an in-flight probe's full timeout before the prober
+// goroutine could exit. Probes now derive from a root that stop()
+// cancels first.
+func TestStopCancelsInFlightProbe(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hang.Close)
+
+	e, _ := startEngine(t, Config{
+		Releases: []Endpoint{{Version: "1.0", URL: hang.URL}, {Version: "1.1", URL: hang.URL}},
+		Oracle:   oracle.Header{},
+		Timeout:  5 * time.Second,
+	})
+	const interval = 800 * time.Millisecond
+	stop, err := e.StartHealthChecks(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("probe never reached the endpoint")
+	}
+	start := time.Now()
+	stop()
+	if d := time.Since(start); d > interval/2 {
+		t.Fatalf("stop() took %v; an in-flight probe must be cancelled, not waited out", d)
+	}
+}

@@ -55,6 +55,8 @@ var callCtxPool sync.Pool
 // acquireCallCtx arms a pooled context: its deadline is now+timeout,
 // clipped to the parent's own deadline, and the parent's cancellation
 // (the consumer hanging up) propagates until detach or release.
+//
+//wsu:owns return
 func acquireCallCtx(parent context.Context, timeout time.Duration) *callCtx {
 	c, _ := callCtxPool.Get().(*callCtx)
 	if c == nil {
@@ -137,6 +139,9 @@ func (c *callCtx) gone() bool {
 // release disarms the context and recycles it when no cancellation
 // callback ever ran (or can still run). Must be called exactly once,
 // after the last user of the context has finished.
+//
+//wsu:owns c
+//wsu:allow poolcheck -- dirty contexts (a callback ran or may still run) are left to the GC
 func (c *callCtx) release() {
 	parentQuiet := !c.parentDirty
 	if c.stopParent != nil {

@@ -228,6 +228,8 @@ func (d *Dispatcher) Close() error {
 
 // getRNG hands one generator to a request. Generators are pooled; a
 // fresh one is split off the seeded master only when the pool is empty.
+//
+//wsu:owns return
 func (d *Dispatcher) getRNG() *xrand.Rand {
 	if r, ok := d.rngPool.Get().(*xrand.Rand); ok {
 		return r
@@ -237,6 +239,7 @@ func (d *Dispatcher) getRNG() *xrand.Rand {
 	return d.rngMaster.Split()
 }
 
+//wsu:owns r
 func (d *Dispatcher) putRNG(r *xrand.Rand) { d.rngPool.Put(r) }
 
 // deliver adjudicates the collected replies with a pooled generator.
@@ -250,6 +253,8 @@ func (d *Dispatcher) deliver(rule adjudicate.Adjudicator, collected []adjudicate
 // complete releases the dispatch context, reports the outcome and
 // recycles the reply slice. Called exactly once per dispatch, after the
 // last reply is in.
+//
+//wsu:owns c replies
 func (d *Dispatcher) complete(c *callCtx, operation string, targets []Endpoint,
 	replies []adjudicate.Reply, winner adjudicate.Reply, oldest, newest Endpoint) {
 	gone := c.gone()
@@ -398,6 +403,9 @@ const fanoutChanCap = 8
 
 var fanoutPool sync.Pool
 
+// acquireFanout arms a pooled fan-out for one dispatch.
+//
+//wsu:owns return
 func (d *Dispatcher) acquireFanout(c *callCtx, operation string, envelope []byte, n int) *fanout {
 	f, ok := fanoutPool.Get().(*fanout)
 	if !ok {
@@ -416,6 +424,9 @@ func (d *Dispatcher) acquireFanout(c *callCtx, operation string, envelope []byte
 // release recycles the fan-out. The caller must have received one reply
 // per spawned call, so the channel is empty (the runtime clears received
 // slots, so the buffer retains no reply references).
+//
+//wsu:owns f
+//wsu:noalloc
 func (f *fanout) release() {
 	f.d = nil
 	f.ctx = nil
@@ -436,6 +447,8 @@ func (f *fanout) call(i int, t Endpoint) {
 
 // doSequential implements §4.2 mode 4: releases execute one at a time;
 // the next is invoked only on an evident failure of the previous.
+//
+//wsu:owns callCtx
 func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope []byte,
 	operation string, rule adjudicate.Adjudicator, oldest, newest Endpoint) (adjudicate.Reply, error) {
 	called := getReplySlice(len(targets))[:0]
@@ -512,10 +525,14 @@ var replySlices pool.Slice[adjudicate.Reply]
 
 // getReplySlice returns a length-n scratch slice of zero Replies
 // (putReplySlice clears recycled backing before pooling it).
+//
+//wsu:owns return
 func getReplySlice(n int) []adjudicate.Reply {
 	return replySlices.Get(n)[:n]
 }
 
+//wsu:owns s
+//wsu:noalloc
 func putReplySlice(s []adjudicate.Reply) {
 	s = s[:cap(s)]
 	for i := range s {

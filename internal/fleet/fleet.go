@@ -377,6 +377,12 @@ func (f *Fleet) StartHealthChecks(interval time.Duration) (stop func(), err erro
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	// The prober is an owned background loop, detached from any request
+	// by design. Every probe derives from a root that stop() cancels, so
+	// shutdown interrupts an in-flight health check instead of waiting
+	// out its full timeout.
+	//wsu:allow ctxhygiene -- owned background prober; the root is cancelled by stop()
+	root, cancelRoot := context.WithCancel(context.Background())
 	go func() {
 		defer close(finished)
 		ticker := time.NewTicker(interval)
@@ -386,7 +392,7 @@ func (f *Fleet) StartHealthChecks(interval time.Duration) (stop func(), err erro
 			case <-done:
 				return
 			case <-ticker.C:
-				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				ctx, cancel := context.WithTimeout(root, interval)
 				f.CheckHealth(ctx)
 				cancel()
 			}
@@ -394,7 +400,10 @@ func (f *Fleet) StartHealthChecks(interval time.Duration) (stop func(), err erro
 	}()
 	var once sync.Once
 	return func() {
-		once.Do(func() { close(done) })
+		once.Do(func() {
+			cancelRoot()
+			close(done)
+		})
 		<-finished
 	}, nil
 }

@@ -527,3 +527,50 @@ func TestStartHealthChecks(t *testing.T) {
 		t.Fatal("zero interval accepted")
 	}
 }
+
+// Regression test mirroring core's TestStopCancelsInFlightProbe: the
+// fleet prober's stop() must cancel an in-flight unit probe instead of
+// waiting out its timeout.
+func TestStopCancelsInFlightProbe(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hang.Close)
+
+	f, err := New(Config{Units: []UnitConfig{{
+		Name: "flights",
+		Engine: core.Config{
+			Releases: []core.Endpoint{{Version: "1.0", URL: hang.URL}, {Version: "1.1", URL: hang.URL}},
+			Oracle:   oracle.Header{},
+			Timeout:  5 * time.Second,
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	const interval = 800 * time.Millisecond
+	stop, err := f.StartHealthChecks(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("probe never reached the endpoint")
+	}
+	start := time.Now()
+	stop()
+	if d := time.Since(start); d > interval/2 {
+		t.Fatalf("stop() took %v; an in-flight probe must be cancelled, not waited out", d)
+	}
+}

@@ -320,6 +320,9 @@ func (pr *pooledReq) request(ctx context.Context, u *url.URL, contentType string
 // transport has closed the body, proving no write loop can still be
 // reading it. Otherwise the state is abandoned to the GC (rare: an
 // early response that outran the request write).
+//
+//wsu:owns pr
+//wsu:allow poolcheck -- state whose body the transport may still hold is abandoned to the GC
 func (pr *pooledReq) recycle() {
 	if pr.body.done.Load() {
 		pr.raw = nil
@@ -361,6 +364,7 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 		// The pooled state is recycled (see pooledReq.recycle) only when
 		// the transport has provably finished with the body; on error
 		// paths it is abandoned to the GC outright.
+		//wsu:allow poolcheck -- error paths abandon the pooled request to the GC (see above)
 		pr := reqPool.Get().(*pooledReq)
 		resp, err := client.Do(pr.request(ctx, u, contentType, body))
 		if err != nil {

@@ -303,7 +303,12 @@ func (m *Monitor) resolve(t *internTable, obs *Observation) ReleaseID {
 	return m.Intern(obs.Release)
 }
 
-// Note records one demand.
+// Note records one demand. The no-sink configuration is the judgment
+// hot path and must stay allocation-free; the sink write (which
+// marshals) lives in sinkWrite so its allocations stay outside Note's
+// checked span.
+//
+//wsu:noalloc
 func (m *Monitor) Note(rec Record) {
 	t := m.intern.Load()
 	sh := m.shards[m.next.Add(1)&(numShards-1)]
@@ -342,19 +347,26 @@ func (m *Monitor) Note(rec Record) {
 		m.ring.add(rec)
 	}
 	if m.sink != nil {
-		// Marshalling runs outside every lock; only the actual write is
-		// serialized, since io.Writer interleaving must stay line-atomic.
-		line, err := json.Marshal(rec)
-		m.sinkMu.Lock()
-		if err == nil {
-			line = append(line, '\n')
-			_, err = m.sink.Write(line)
-		}
-		if err != nil && m.sinkErr == nil {
-			m.sinkErr = fmt.Errorf("monitor: writing sink: %w", err)
-		}
-		m.sinkMu.Unlock()
+		m.sinkWrite(rec)
 	}
+}
+
+// sinkWrite marshals one record to the configured sink. It allocates by
+// nature (JSON encoding), which is why it lives outside Note's
+// //wsu:noalloc span.
+func (m *Monitor) sinkWrite(rec Record) {
+	// Marshalling runs outside every lock; only the actual write is
+	// serialized, since io.Writer interleaving must stay line-atomic.
+	line, err := json.Marshal(rec)
+	m.sinkMu.Lock()
+	if err == nil {
+		line = append(line, '\n')
+		_, err = m.sink.Write(line)
+	}
+	if err != nil && m.sinkErr == nil {
+		m.sinkErr = fmt.Errorf("monitor: writing sink: %w", err)
+	}
+	m.sinkMu.Unlock()
 }
 
 // Err reports the first sink write error, if any.

@@ -87,7 +87,10 @@ func (o FaultOnly) Judge(operation string, replies []adjudicate.Reply) []bool {
 }
 
 // JudgeInto implements Oracle.
+//
+//wsu:noalloc
 func (FaultOnly) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	//wsu:allow noalloc -- verdict-slice grow path; pooled callers pass adequate capacity
 	failed := verdicts(dst, len(replies))
 	for i, r := range replies {
 		failed[i] = !r.Valid()
@@ -115,7 +118,10 @@ func (o Reference) Judge(operation string, replies []adjudicate.Reply) []bool {
 }
 
 // JudgeInto implements Oracle.
+//
+//wsu:noalloc
 func (o Reference) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	//wsu:allow noalloc -- verdict-slice grow path; pooled callers pass adequate capacity
 	failed := verdicts(dst, len(replies))
 	var ref *adjudicate.Reply
 	for i := range replies {
@@ -154,7 +160,10 @@ func (o BackToBack) Judge(operation string, replies []adjudicate.Reply) []bool {
 }
 
 // JudgeInto implements Oracle.
+//
+//wsu:noalloc
 func (BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	//wsu:allow noalloc -- verdict-slice grow path; pooled callers pass adequate capacity
 	failed := verdicts(dst, len(replies))
 	first := -1 // first valid reply: the comparison base
 	nvalid := 0
@@ -205,7 +214,10 @@ func (o Header) Judge(operation string, replies []adjudicate.Reply) []bool {
 }
 
 // JudgeInto implements Oracle.
+//
+//wsu:noalloc
 func (Header) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+	//wsu:allow noalloc -- verdict-slice grow path; pooled callers pass adequate capacity
 	failed := verdicts(dst, len(replies))
 	for i := range replies {
 		r := &replies[i]
@@ -263,6 +275,8 @@ func NewWithOmission(inner Oracle, pomit float64, rng *xrand.Rand) (*WithOmissio
 
 // getRNG hands one generator to a judgment. Generators are pooled; a
 // fresh one is split off the seeded master only when the pool is empty.
+//
+//wsu:owns return
 func (o *WithOmission) getRNG() *xrand.Rand {
 	if r, ok := o.rngPool.Get().(*xrand.Rand); ok {
 		return r
@@ -272,6 +286,7 @@ func (o *WithOmission) getRNG() *xrand.Rand {
 	return o.rngMaster.Split()
 }
 
+//wsu:owns r
 func (o *WithOmission) putRNG(r *xrand.Rand) { o.rngPool.Put(r) }
 
 // Judge implements Oracle.
@@ -280,6 +295,8 @@ func (o *WithOmission) Judge(operation string, replies []adjudicate.Reply) []boo
 }
 
 // JudgeInto implements Oracle.
+//
+//wsu:noalloc
 func (o *WithOmission) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
 	failed := o.inner.JudgeInto(dst, operation, replies)
 	rng := o.getRNG()

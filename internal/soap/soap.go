@@ -179,10 +179,15 @@ func firstElement(inner []byte) (xml.Name, bool) {
 // traffic. Builders must copy the result out before returning the buffer.
 var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
 
+//wsu:owns return
 func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
 
+// putBuf recycles a scratch buffer. An occasional giant message must
+// not pin its buffer forever, so oversized buffers are dropped.
+//
+//wsu:owns b
+//wsu:allow poolcheck -- oversized buffers are dropped to the GC by design
 func putBuf(b *bytes.Buffer) {
-	// An occasional giant message must not pin its buffer forever.
 	if b.Cap() > 1<<16 {
 		return
 	}
@@ -192,6 +197,8 @@ func putBuf(b *bytes.Buffer) {
 
 // take copies a pooled buffer's content into a caller-owned, right-sized
 // slice and returns the buffer to the pool.
+//
+//wsu:owns b
 func take(b *bytes.Buffer) []byte {
 	out := make([]byte, b.Len())
 	copy(out, b.Bytes())
