@@ -10,6 +10,10 @@ BENCH     ?= EngineInProcess|FleetInProcess|OracleJudge|MonitorNote
 COUNT     ?= 5
 BENCHTIME ?= 1000x
 GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInProcess/fleet-routed,MonitorNote/interned,OracleJudge/fault-only,OracleJudge/header-truth,OracleJudge/reference(1.0),OracleJudge/back-to-back,OracleJudge/omission
+# Fast-path entries additionally gated on best-of-N ns/op. The 25%
+# threshold is deliberately generous (shared runners are noisy); it
+# exists to catch a fast path falling off a cliff, not a 5% wobble.
+NS_GATED   = EngineInProcess/old-only-fastpath,EngineInProcess/new-only-fastpath
 
 # The soak target runs the chaos-scenario suite end to end under the
 # race detector: a real fleet over TCP with fault-injected releases,
@@ -19,7 +23,7 @@ GATED      = EngineInProcess/old-only-fastpath,EngineInProcess/parallel,FleetInP
 SOAK_DURATION ?= 20s
 SOAK_OUT      ?= .
 
-.PHONY: test vet lint bench bench-run bench-baseline clean-bench soak
+.PHONY: test vet lint bench bench-run bench-baseline clean-bench soak scaling
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
@@ -36,8 +40,15 @@ lint:
 soak:
 	$(GO) run -race ./cmd/loadgen -scenario corrupt-never-wins -out $(SOAK_OUT)/soak-corrupt.json
 	$(GO) run -race ./cmd/loadgen -scenario omission-convergence -out $(SOAK_OUT)/soak-omission.json
+	$(GO) run -race ./cmd/loadgen -scenario mixed-fault -out $(SOAK_OUT)/soak-mixed.json
 	$(GO) run -race ./cmd/loadgen -scenario crash-restart -out $(SOAK_OUT)/soak-crash.json
 	$(GO) run -race ./cmd/loadgen -scenario soak -duration $(SOAK_DURATION) -out $(SOAK_OUT)/soak-report.json
+
+# scaling regenerates the committed GOMAXPROCS scaling curve
+# (bench_scaling.json): RPS and p99 of the mediation path at 1, 2, 4, …
+# NumCPU cores against a self-deployed faultless unit.
+scaling:
+	$(GO) run ./cmd/loadgen -scaling -out bench_scaling.json
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +58,7 @@ bench-run: clean-bench
 	$(GO) run ./cmd/benchgate -parse bench.out -out .
 
 bench: bench-run
-	$(GO) run ./cmd/benchgate -check -baseline bench_baseline.json -results . -keys '$(GATED)' -max-regress 0.10
+	$(GO) run ./cmd/benchgate -check -baseline bench_baseline.json -results . -keys '$(GATED)' -max-regress 0.10 -ns-keys '$(NS_GATED)' -max-ns-regress 0.25
 
 bench-baseline: bench-run
 	$(GO) run ./cmd/benchgate -update -baseline bench_baseline.json -results .

@@ -108,10 +108,26 @@ type Reply struct {
 	// release's version header, or the fault-injection marker the test
 	// harness's ground-truth oracle reads). May be nil.
 	Header http.Header
+	// Buf, when non-nil, is the pooled buffer Body aliases. Ownership
+	// belongs to the dispatch layer, which releases it once the reply
+	// has been judged, recorded and (for the winner) written;
+	// adjudicators must neither retain nor release it. A winner handed
+	// to a consumer carries one extra reference, discharged with
+	// ReleaseBody after the response is written.
+	Buf *pool.Buf
 }
 
 // Valid reports whether the reply is not an evident failure.
 func (r Reply) Valid() bool { return r.Err == nil }
+
+// ReleaseBody discharges the reply's reference to its pooled body
+// buffer and drops the alias; Body must not be read afterwards. Safe
+// on replies with no pooled body.
+func (r *Reply) ReleaseBody() {
+	r.Buf.Release()
+	r.Buf = nil
+	r.Body = nil
+}
 
 // Adjudicator selects the response returned to the consumer from the
 // replies collected within the middleware's timeout.

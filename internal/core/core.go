@@ -837,15 +837,18 @@ func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := httpx.ReadBounded(r.Body, maxRequestBytes)
+	envBuf, err := httpx.ReadBoundedBuf(r.Body, maxRequestBytes)
 	if err != nil {
+		envBuf.Release() // nil on error; Release is nil-safe
 		e.writeFault(w, soap.ClientFault(fmt.Sprintf("reading request: %v", err)), "")
 		return
 	}
+	data := envBuf.B
 	opElement, sniffed := soap.SniffOperation(data)
 	var parsed *soap.Parsed
 	if !sniffed {
 		if parsed, err = soap.Parse(data); err != nil {
+			envBuf.Release()
 			e.writeFault(w, soap.ClientFault(err.Error()), "")
 			return
 		}
@@ -862,22 +865,28 @@ func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		if opElement == wsdl.ConfOperationName+"Request" {
 			if parse() == nil {
+				envBuf.Release()
 				e.writeFault(w, soap.ClientFault(err.Error()), "")
 				return
 			}
+			// The DOM parse copied everything it needs out of the raw
+			// envelope; the confidence paths run off parsed alone.
+			envBuf.Release()
 			e.serveConfidenceQuery(w, parsed)
 			return
 		}
 		if base, ok := e.confVariantBase(operation); ok {
 			if parse() == nil {
+				envBuf.Release()
 				e.writeFault(w, soap.ClientFault(err.Error()), "")
 				return
 			}
+			envBuf.Release()
 			e.serveConfVariant(w, r, parsed, base)
 			return
 		}
 	}
-	e.proxy(w, r, data, operation)
+	e.proxy(w, r, envBuf, operation)
 }
 
 // confVariantBase reports whether operation is a §6.2 "<op>Conf"
@@ -923,16 +932,23 @@ func requestAdjudicator(r *http.Request, fallback adjudicate.Adjudicator) adjudi
 	return fallback
 }
 
-// proxy is the main interception path.
-func (e *Engine) proxy(w http.ResponseWriter, r *http.Request, envelope []byte, operation string) {
+// proxy is the main interception path. It takes ownership of envBuf —
+// the pooled buffer holding the consumer's request envelope — and hands
+// it on to the dispatch layer, which recycles it once no fan-out
+// goroutine can still read it.
+//
+//wsu:owns envBuf
+func (e *Engine) proxy(w http.ResponseWriter, r *http.Request, envBuf *pool.Buf, operation string) {
 	override, _ := headerAdjudicator(r)
-	winner, adjErr := e.dispatch(r.Context(), envelope, operation, override)
+	winner, adjErr := e.dispatch(r.Context(), envBuf, operation, override)
 	e.respond(w, operation, winner, adjErr)
 }
 
-// respond writes the adjudicated outcome to the consumer.
+// respond writes the adjudicated outcome to the consumer and discharges
+// the winner's pooled-body reference once the body has been written.
 func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudicate.Reply, adjErr error) {
 	if adjErr != nil {
+		winner.ReleaseBody() // nil-safe: fault outcomes carry no pooled body
 		var f *soap.Fault
 		if !errors.As(adjErr, &f) {
 			switch {
@@ -965,6 +981,7 @@ func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudic
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = soap.WriteEnvelopeRaw(w, winner.Body, headers...)
+	winner.ReleaseBody()
 }
 
 // soapContentType is the shared Content-Type header value; response
@@ -983,7 +1000,14 @@ func (e *Engine) writeFault(w http.ResponseWriter, f *soap.Fault, operation stri
 // in-flight fan-out (and the aborted outcome is not charged to the
 // releases), while early-delivery modes detach after responding so
 // monitoring still collects every release's behaviour.
-func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string, override adjudicate.Adjudicator) (adjudicate.Reply, error) {
+//
+// dispatch takes ownership of envBuf, the pooled buffer holding the
+// request envelope; ownership transfers into dispatch.Request.EnvelopeBuf
+// and the dispatcher's completion recycles it.
+//
+//wsu:owns envBuf
+//wsu:allow poolcheck -- envBuf's ownership transfers into dispatch.Request.EnvelopeBuf; the dispatcher's completion recycles it
+func (e *Engine) dispatch(ctx context.Context, envBuf *pool.Buf, operation string, override adjudicate.Adjudicator) (adjudicate.Reply, error) {
 	st := e.state.Load()
 	releases := st.releases
 	oldest, newest := releases[0], releases[len(releases)-1]
@@ -1017,16 +1041,17 @@ func (e *Engine) dispatch(ctx context.Context, envelope []byte, operation string
 		rule = deliveryRule(st.phase, oldest, newest, override)
 	}
 	return e.disp.Do(dispatch.Request{
-		Parent:    ctx,
-		Targets:   targets,
-		Mode:      st.mode,
-		Quorum:    st.quorum,
-		Timeout:   st.timeout,
-		Operation: operation,
-		Envelope:  envelope,
-		Deliver:   rule,
-		Oldest:    oldest,
-		Newest:    newest,
+		Parent:      ctx,
+		Targets:     targets,
+		Mode:        st.mode,
+		Quorum:      st.quorum,
+		Timeout:     st.timeout,
+		Operation:   operation,
+		Envelope:    envBuf.B,
+		EnvelopeBuf: envBuf,
+		Deliver:     rule,
+		Oldest:      oldest,
+		Newest:      newest,
 	})
 }
 
@@ -1083,6 +1108,10 @@ func (e *Engine) recordOutcome(out dispatch.Outcome) {
 			Judged:    true,
 			Failed:    failed[i],
 			Latency:   r.Latency,
+			// Body aliases the reply's pooled response buffer, which the
+			// dispatcher recycles the moment this hook returns; the
+			// monitor copies it at the record boundary (logRing.add).
+			Body: r.Body,
 		})
 		if r.Release == out.Oldest.Version {
 			oldIdx = i
@@ -1294,30 +1323,42 @@ func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, parsed
 		return
 	}
 	override, _ := headerAdjudicator(r)
-	winner, adjErr := e.dispatch(r.Context(), soap.EnvelopeRaw(renamed), baseOp, override)
+	envBuf := confEnvBufs.Get()
+	envBuf.B = append(envBuf.B[:0], soap.EnvelopeRaw(renamed)...)
+	winner, adjErr := e.dispatch(r.Context(), envBuf, baseOp, override)
 	if adjErr != nil {
 		e.respond(w, baseOp, winner, adjErr)
 		return
 	}
 	conf, err := e.publishedConfidence(baseOp)
 	if err != nil {
+		winner.ReleaseBody()
 		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
 		return
 	}
 	extended, err := soap.InjectElement(winner.Body,
 		[]byte(fmt.Sprintf("<%sConf>%.6f</%sConf>", baseOp, conf, baseOp)))
 	if err != nil {
+		winner.ReleaseBody()
 		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
 		return
 	}
 	renamedResp, err := soap.RenameRoot(extended, baseOp+"ConfResponse")
 	if err != nil {
+		winner.ReleaseBody()
 		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
 		return
 	}
+	// The winner's Buf still carries the pooled original body; respond
+	// discharges it after the transformed body is written.
 	winner.Body = renamedResp
 	e.respond(w, baseOp, winner, nil)
 }
+
+// confEnvBufs pools the re-marshalled request envelopes of §6.2
+// "<op>Conf" variant calls so they ride the same pooled dispatch path as
+// directly proxied envelopes.
+var confEnvBufs pool.BufPool
 
 // ---------------------------------------------------------------------------
 // Registry integration

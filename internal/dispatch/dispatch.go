@@ -121,6 +121,12 @@ type Request struct {
 	Operation string
 	// Envelope is the SOAP envelope posted to each release.
 	Envelope []byte
+	// EnvelopeBuf, when non-nil, is the pooled buffer backing Envelope.
+	// Its ownership transfers to the dispatcher with the call to Do: the
+	// envelope stays live until the last release call has finished
+	// (background collection included), and the dispatcher releases the
+	// buffer exactly once, when the dispatch completes.
+	EnvelopeBuf *pool.Buf
 	// Deliver selects the delivered reply among the collected
 	// responses; nil means adjudicate.RandomValid.
 	Deliver adjudicate.Adjudicator
@@ -132,7 +138,9 @@ type Request struct {
 // Outcome is the complete result of one dispatch, delivered to the
 // monitoring hook once every invoked release has been accounted for —
 // possibly after Do returned, when a mode delivered early. The Replies
-// slice is pooled: the hook must not retain it.
+// slice is pooled, and each reply's Body may alias a pooled buffer
+// that is recycled the moment the hook returns: the hook must not
+// retain the slice and must copy any body bytes it keeps.
 type Outcome struct {
 	// Operation names the invoked operation.
 	Operation string
@@ -250,13 +258,18 @@ func (d *Dispatcher) deliver(rule adjudicate.Adjudicator, collected []adjudicate
 	return winner, err
 }
 
-// complete releases the dispatch context, reports the outcome and
-// recycles the reply slice. Called exactly once per dispatch, after the
-// last reply is in.
+// complete releases the dispatch context, reports the outcome, and
+// recycles the reply slice, the pooled reply bodies, and the pooled
+// request envelope. Called exactly once per dispatch, after the last
+// reply is in — the single point past which (a) the envelope has no
+// remaining reader and (b) monitoring has taken its record-time copy
+// of every reply body, so recycling here cannot be observed. The
+// winner's extra reference (taken at delivery) survives this release
+// for the consumer write.
 //
-//wsu:owns c replies
+//wsu:owns c replies envBuf
 func (d *Dispatcher) complete(c *callCtx, operation string, targets []Endpoint,
-	replies []adjudicate.Reply, winner adjudicate.Reply, oldest, newest Endpoint) {
+	replies []adjudicate.Reply, winner adjudicate.Reply, oldest, newest Endpoint, envBuf *pool.Buf) {
 	gone := c.gone()
 	c.release()
 	if d.onOutcome != nil {
@@ -270,12 +283,22 @@ func (d *Dispatcher) complete(c *callCtx, operation string, targets []Endpoint,
 			ConsumerGone: gone,
 		})
 	}
+	for i := range replies {
+		replies[i].Buf.Release()
+	}
+	envBuf.Release()
 	putReplySlice(replies)
 }
 
 // Do executes one fan-out and returns the delivered reply (or the
 // adjudication error). Monitoring work that should not delay delivery
 // finishes in the background.
+//
+// Ownership: req.EnvelopeBuf (if set) transfers to the dispatcher,
+// which releases it when the dispatch completes. The returned winner
+// carries one reference of its own to its pooled body (Reply.Buf) —
+// taken at delivery, before the reply set is recycled — which the
+// caller discharges with ReleaseBody once the response is written.
 func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 	targets, operation, envelope := req.Targets, req.Operation, req.Envelope
 	oldest, newest := req.Oldest, req.Newest
@@ -296,12 +319,16 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 			collected = replies[:1]
 		}
 		winner, adjErr := d.deliver(rule, collected)
-		d.complete(callCtx, operation, targets, replies, winner, oldest, newest)
+		// The winner's body aliases a pooled reply buffer that complete
+		// is about to release; its own reference keeps it live for the
+		// consumer write.
+		winner.Buf.Retain()
+		d.complete(callCtx, operation, targets, replies, winner, oldest, newest, req.EnvelopeBuf)
 		return winner, adjErr
 	}
 
 	if req.Mode == ModeSequential {
-		return d.doSequential(callCtx, targets, envelope, operation, rule, oldest, newest)
+		return d.doSequential(callCtx, targets, envelope, operation, rule, oldest, newest, req.EnvelopeBuf)
 	}
 
 	f := d.acquireFanout(callCtx, operation, envelope, len(targets))
@@ -348,19 +375,25 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 	}
 	winner, adjErr := d.deliver(rule, collected)
 	putReplySlice(collected)
+	// The winner's body aliases a pooled reply buffer that complete will
+	// release; its own reference keeps it live for the consumer write.
+	winner.Buf.Retain()
 
 	if received == len(targets) {
-		d.complete(callCtx, operation, targets, replies, winner, oldest, newest)
+		d.complete(callCtx, operation, targets, replies, winner, oldest, newest, req.EnvelopeBuf)
 		f.release()
 		return winner, adjErr
 	}
 	// Delivery happened early; detach from the consumer's context (the
 	// response is theirs — the rest of the collection is ours) and
 	// finish in the background so the monitoring subsystem still sees
-	// every release's behaviour, bounded by the dispatch deadline.
+	// every release's behaviour, bounded by the dispatch deadline. The
+	// envelope and reply buffers stay live with the collection: complete
+	// releases them only after the last reply is in.
 	callCtx.detach()
 	remaining := len(targets) - received
 	partial := replies
+	envBuf := req.EnvelopeBuf
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
@@ -368,7 +401,7 @@ func (d *Dispatcher) Do(req Request) (adjudicate.Reply, error) {
 			in := <-f.ch
 			partial[in.i] = in.r
 		}
-		d.complete(callCtx, operation, targets, partial, winner, oldest, newest)
+		d.complete(callCtx, operation, targets, partial, winner, oldest, newest, envBuf)
 		f.release()
 	}()
 	return winner, adjErr
@@ -450,7 +483,7 @@ func (f *fanout) call(i int, t Endpoint) {
 //
 //wsu:owns callCtx
 func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope []byte,
-	operation string, rule adjudicate.Adjudicator, oldest, newest Endpoint) (adjudicate.Reply, error) {
+	operation string, rule adjudicate.Adjudicator, oldest, newest Endpoint, envBuf *pool.Buf) (adjudicate.Reply, error) {
 	called := getReplySlice(len(targets))[:0]
 	for _, t := range targets {
 		r := d.callRelease(callCtx, t, operation, envelope)
@@ -467,8 +500,9 @@ func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope
 	}
 	winner, err := d.deliver(rule, collected)
 	putReplySlice(collected)
+	winner.Buf.Retain() // keep the winner's body past the reply recycling
 	// Targets are invoked in order, so the invoked prefix is targets[:k].
-	d.complete(callCtx, operation, targets[:len(called)], called, winner, oldest, newest)
+	d.complete(callCtx, operation, targets[:len(called)], called, winner, oldest, newest, envBuf)
 	return winner, err
 }
 
@@ -476,6 +510,11 @@ func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope
 // response's body is extracted with the zero-copy sniffer; the full
 // parse runs only for unusual envelopes and for fault decoding (the
 // SOAP 1.1 binding carries faults on HTTP 500).
+//
+// Ownership: the transport's pooled response buffer (Result.BodyBuf)
+// either travels on in Reply.Buf — the sniffed fast path, where
+// Reply.Body aliases it — or is released here, because soap.Parse
+// copies what it extracts and nothing else aliases the wire bytes.
 func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
 	start := time.Now()
 	reply := adjudicate.Reply{Release: ep.Version}
@@ -490,9 +529,11 @@ func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation str
 	case http.StatusOK:
 		if inner, _, ok := soap.SniffBody(res.Body); ok {
 			reply.Body = inner
+			reply.Buf = res.BodyBuf
 			return reply
 		}
 		parsed, perr := soap.Parse(res.Body)
+		res.BodyBuf.Release()
 		if perr != nil {
 			reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, perr)
 			return reply
@@ -500,12 +541,14 @@ func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation str
 		reply.Body = parsed.BodyXML
 	case http.StatusInternalServerError:
 		parsed, perr := soap.Parse(res.Body)
+		res.BodyBuf.Release()
 		if perr == nil && parsed.Fault != nil {
 			reply.Err = parsed.Fault
 			return reply
 		}
 		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
 	default:
+		res.BodyBuf.Release()
 		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
 	}
 	return reply

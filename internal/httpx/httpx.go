@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wsupgrade/internal/pool"
 )
 
 // ErrBadPolicy reports an invalid retry policy.
@@ -82,52 +84,70 @@ func NewPooledClient(timeout time.Duration, hosts int) *http.Client {
 	return &http.Client{Timeout: timeout, Transport: transport}
 }
 
-// readPool recycles the scratch buffers of ReadBounded. Bodies on the
-// middleware's hot path are small SOAP envelopes; recycling the growth
-// of a fresh buffer per exchange was measurable allocator traffic.
-var readPool = sync.Pool{New: func() interface{} {
-	b := make([]byte, 4096)
-	return &b
-}}
-
 // maxPooledReadBuf keeps an occasional giant body from pinning its
 // buffer in the pool forever.
 const maxPooledReadBuf = 1 << 16
 
-// ReadBounded reads r to EOF through a pooled scratch buffer and returns
-// a right-sized, caller-owned copy. Reading more than max bytes returns
-// ErrTooLarge. The read loop is hand-rolled (no io.LimitReader /
-// bytes.Buffer plumbing): this runs at least twice per proxied request,
-// and the wrapper structs alone were measurable.
-func ReadBounded(r io.Reader, max int64) ([]byte, error) {
-	bp := readPool.Get().(*[]byte)
-	buf := (*bp)[:0]
-	defer func() {
-		if cap(buf) <= maxPooledReadBuf {
-			*bp = buf[:0]
-		}
-		readPool.Put(bp)
-	}()
+// bodyPool backs the bounded-read buffers. Bodies on the middleware's
+// hot path are small SOAP envelopes; recycling the growth of a fresh
+// buffer per exchange was measurable allocator traffic.
+var bodyPool = pool.BufPool{MaxCap: maxPooledReadBuf}
+
+// ReadBoundedBuf reads r to EOF into a pooled buffer and transfers
+// ownership of that buffer to the caller: exactly one Release (plus one
+// per extra Retain) must eventually pair with the returned buffer, and
+// nothing may alias its contents past that Release. Reading more than
+// max bytes returns ErrTooLarge. The read loop is hand-rolled (no
+// io.LimitReader / bytes.Buffer plumbing): this runs at least twice per
+// proxied request, and the wrapper structs alone were measurable.
+//
+//wsu:owns return
+func ReadBoundedBuf(r io.Reader, max int64) (*pool.Buf, error) {
+	b := bodyPool.Get()
+	buf := b.B
 	for {
 		if len(buf) == cap(buf) {
-			next := make([]byte, len(buf), 2*cap(buf))
+			grown := 2 * cap(buf)
+			if grown < 4096 {
+				grown = 4096
+			}
+			next := make([]byte, len(buf), grown)
 			copy(next, buf)
 			buf = next
 		}
 		n, err := r.Read(buf[len(buf):cap(buf)])
 		buf = buf[:len(buf)+n]
 		if int64(len(buf)) > max {
+			b.B = buf
+			b.Release()
 			return nil, fmt.Errorf("%w: more than %d bytes", ErrTooLarge, max)
 		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			b.B = buf
+			b.Release()
 			return nil, err
 		}
 	}
-	out := make([]byte, len(buf))
-	copy(out, buf)
+	b.B = buf
+	return b, nil
+}
+
+// ReadBounded reads r to EOF through a pooled scratch buffer and returns
+// a right-sized, caller-owned copy. Reading more than max bytes returns
+// ErrTooLarge. Callers on the request hot path use ReadBoundedBuf
+// instead and skip the copy by owning the pooled buffer outright.
+func ReadBounded(r io.Reader, max int64) ([]byte, error) {
+	//wsu:allow poolcheck -- a non-nil error means no buffer was returned
+	b, err := ReadBoundedBuf(r, max)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b.B))
+	copy(out, b.B)
+	b.Release()
 	return out, nil
 }
 
@@ -209,6 +229,11 @@ type Result struct {
 	Attempts int
 	// Latency is the total wall time including retries.
 	Latency time.Duration
+	// BodyBuf, when non-nil, is the pooled buffer backing Body, and its
+	// ownership transfers to the caller: one Release pairs with the
+	// reference carried here, and nothing may alias Body past it. A nil
+	// BodyBuf means Body is unpooled and needs no release.
+	BodyBuf *pool.Buf
 }
 
 // ---------------------------------------------------------------------------
@@ -374,7 +399,8 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 			}
 			continue
 		}
-		data, err := ReadBounded(resp.Body, maxBytes)
+		//wsu:allow poolcheck -- ownership transfers to the caller via Result.BodyBuf
+		data, err := ReadBoundedBuf(resp.Body, maxBytes)
 		resp.Body.Close()
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
@@ -385,16 +411,18 @@ func PostXML(ctx context.Context, client *http.Client, url, contentType string, 
 		}
 		if policy.ShouldRetryStatus(resp.StatusCode) && attempt < policy.Attempts {
 			lastErr = fmt.Errorf("httpx: transient HTTP %d from %s", resp.StatusCode, url)
+			data.Release()
 			pr.recycle()
 			continue
 		}
 		pr.recycle()
 		return Result{
 			Status:   resp.StatusCode,
-			Body:     data,
+			Body:     data.B,
 			Header:   resp.Header,
 			Attempts: attempt,
 			Latency:  time.Since(start),
+			BodyBuf:  data,
 		}, nil
 	}
 	return Result{}, fmt.Errorf("httpx: POST %s failed after retries: %w", url, lastErr)

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// SaturationReport is the open-loop ramp's summary: where the mediator's
+// latency knee sits and what it looks like. The knee is the first ramp
+// step whose p99 (measured from scheduled start, so queueing behind the
+// saturated mediator is charged) degrades past the limit, or whose
+// achieved throughput falls visibly short of the offered rate.
+type SaturationReport struct {
+	// StepDurationMS is each ramp step's length.
+	StepDurationMS float64 `json:"stepDurationMs"`
+	// BaselineP99MS is the first (unsaturated) step's p99.
+	BaselineP99MS float64 `json:"baselineP99Ms"`
+	// P99LimitMS is the degradation threshold derived from the baseline.
+	P99LimitMS float64 `json:"p99LimitMs"`
+	// Saturated reports whether the ramp found a knee before exhausting
+	// its levels.
+	Saturated bool `json:"saturated"`
+	// KneeTargetRPS is the offered rate of the degraded step (the last
+	// ramp level when Saturated is false).
+	KneeTargetRPS float64 `json:"kneeTargetRps"`
+	// KneeRPS is the throughput actually achieved at that step.
+	KneeRPS float64 `json:"kneeRps"`
+	// KneeP99MS is that step's p99 latency.
+	KneeP99MS float64 `json:"kneeP99Ms"`
+	// LastHealthyRPS is the achieved throughput of the last step within
+	// the latency limit — the usable capacity estimate.
+	LastHealthyRPS float64 `json:"lastHealthyRps"`
+}
+
+// saturation ramps open-loop load against a healthy two-release unit
+// until the p99 degrades past its threshold, reporting the knee. Each
+// step doubles the offered rate; every step's full load report ships in
+// Batches so the whole curve is machine-readable, not just the knee.
+func saturation(ctx context.Context, opts ScenarioOptions) (ScenarioResult, error) {
+	var res ScenarioResult
+	const oldV, newV = "1.0", "1.1"
+	d, err := deploy(opts.Seed, unitSpec{
+		name: "svc",
+		old:  releaseSpec{version: oldV},
+		new:  releaseSpec{version: newV},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer d.close()
+
+	stepDur := opts.Duration / 4
+	if stepDur < time.Second {
+		stepDur = time.Second
+	}
+	sat := &SaturationReport{StepDurationMS: float64(stepDur.Milliseconds())}
+	res.Saturation = sat
+
+	const (
+		startRPS  = 100.0
+		maxLevels = 10
+	)
+	rps := startRPS
+	for level := 0; level < maxLevels; level++ {
+		opts.logf("saturation: step %d — %.0f rps offered for %v", level+1, rps, stepDur)
+		step, err := Run(ctx, Options{
+			URLs:        []string{d.unitURL("svc")},
+			OpenLoop:    true,
+			RPS:         rps,
+			Duration:    stepDur,
+			Concurrency: 64,
+			Timeout:     5 * time.Second,
+			Seed:        opts.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Batches = append(res.Batches, step)
+
+		if level == 0 {
+			sat.BaselineP99MS = step.LatencyMS.P99
+			// Generous: saturation shows up as an order-of-magnitude p99
+			// cliff (queueing), not a 2x wobble on a noisy box.
+			sat.P99LimitMS = 5 * sat.BaselineP99MS
+			if sat.P99LimitMS < 20 {
+				sat.P99LimitMS = 20
+			}
+			res.check(step.Verdicts[VerdictOK] == step.Requests,
+				"baseline step verdicts %v: unhealthy before any load", step.Verdicts)
+		}
+
+		degraded := step.LatencyMS.P99 > sat.P99LimitMS || step.RPS < rps*0.9
+		if degraded {
+			sat.Saturated = true
+			sat.KneeTargetRPS = rps
+			sat.KneeRPS = step.RPS
+			sat.KneeP99MS = step.LatencyMS.P99
+			break
+		}
+		sat.LastHealthyRPS = step.RPS
+		sat.KneeTargetRPS = rps
+		sat.KneeRPS = step.RPS
+		sat.KneeP99MS = step.LatencyMS.P99
+		if ctx.Err() != nil {
+			break
+		}
+		rps *= 2
+	}
+
+	res.check(len(res.Batches) >= 2 || sat.Saturated,
+		"ramp produced a single healthy step — no curve to report")
+	opts.logf("saturation: knee at %.0f offered rps (achieved %.0f, p99 %.1fms, saturated=%v)",
+		sat.KneeTargetRPS, sat.KneeRPS, sat.KneeP99MS, sat.Saturated)
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ScalingOptions configures a GOMAXPROCS scaling sweep.
+type ScalingOptions struct {
+	// Concurrency is the closed-loop worker count used at every point; it
+	// stays fixed so the only variable across points is the core budget.
+	// Zero means 16.
+	Concurrency int
+	// PerPoint is how long each GOMAXPROCS point runs. Zero means 2s.
+	PerPoint time.Duration
+	// Seed feeds the deployed unit's fault injection (none) and the
+	// drivers' request parameters.
+	Seed uint64
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// ScalingPoint is one GOMAXPROCS setting's measurement.
+type ScalingPoint struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Requests   int     `json:"requests"`
+	RPS        float64 `json:"rps"`
+	P50MS      float64 `json:"p50Ms"`
+	P99MS      float64 `json:"p99Ms"`
+}
+
+// ScalingReport is the committed scaling-curve artifact: throughput and
+// tail latency of the mediation fast path as the core budget grows
+// 1, 2, 4, … up to the machine. The curve is the zero-alloc work's
+// second deliverable — a fast path that scales with cores rather than
+// serializing on the allocator or a shared lock.
+type ScalingReport struct {
+	CPUs        int            `json:"cpus"`
+	Concurrency int            `json:"concurrency"`
+	PerPointMS  float64        `json:"perPointMs"`
+	Points      []ScalingPoint `json:"points"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r ScalingReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunScaling deploys one faultless two-release unit over TCP, then
+// drives it closed-loop at a fixed worker count while stepping
+// GOMAXPROCS through 1, 2, 4, … NumCPU. The deployment is shared across
+// points so pools are warm and the curve measures scheduling, not
+// warm-up. GOMAXPROCS is restored before returning.
+func RunScaling(ctx context.Context, opts ScalingOptions) (ScalingReport, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.PerPoint <= 0 {
+		opts.PerPoint = 2 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	logf := func(format string, args ...interface{}) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	rep := ScalingReport{
+		CPUs:        runtime.NumCPU(),
+		Concurrency: opts.Concurrency,
+		PerPointMS:  float64(opts.PerPoint.Milliseconds()),
+	}
+
+	d, err := deploy(opts.Seed, unitSpec{
+		name: "svc",
+		old:  releaseSpec{version: "1.0"},
+		new:  releaseSpec{version: "1.1"},
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer d.close()
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	// 1, 2, 4, … then the full machine, so the curve's last point is the
+	// default configuration even when NumCPU is not a power of two.
+	var levels []int
+	for n := 1; n < rep.CPUs; n *= 2 {
+		levels = append(levels, n)
+	}
+	levels = append(levels, rep.CPUs)
+
+	for _, n := range levels {
+		runtime.GOMAXPROCS(n)
+		logf("scaling: GOMAXPROCS=%d, %d workers, %v", n, opts.Concurrency, opts.PerPoint)
+		load, err := Run(ctx, Options{
+			URLs:        []string{d.unitURL("svc")},
+			Concurrency: opts.Concurrency,
+			Duration:    opts.PerPoint,
+			Timeout:     5 * time.Second,
+			Seed:        opts.Seed,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.Points = append(rep.Points, ScalingPoint{
+			GOMAXPROCS: n,
+			Requests:   load.Requests,
+			RPS:        load.RPS,
+			P50MS:      load.LatencyMS.P50,
+			P99MS:      load.LatencyMS.P99,
+		})
+		logf("scaling: GOMAXPROCS=%d → %.0f rps, p50 %.2fms, p99 %.2fms",
+			n, load.RPS, load.LatencyMS.P50, load.LatencyMS.P99)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return rep, nil
+}

@@ -116,6 +116,8 @@ type ScenarioResult struct {
 	Injected map[string]map[string]int `json:"injected,omitempty"`
 	// Soak is the resource envelope (soak scenario only).
 	Soak *SoakStats `json:"soak,omitempty"`
+	// Saturation is the open-loop ramp's knee (saturation scenario only).
+	Saturation *SaturationReport `json:"saturation,omitempty"`
 }
 
 // WriteJSON writes the result as indented JSON.
@@ -138,6 +140,8 @@ var scenarios = map[string]scenarioFunc{
 	"corrupt-never-wins":   corruptNeverWins,
 	"omission-convergence": omissionConvergence,
 	"crash-restart":        crashRestart,
+	"mixed-fault":          mixedFault,
+	"saturation":           saturation,
 	"soak":                 soak,
 }
 

@@ -1,0 +1,92 @@
+package monitor_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wsupgrade/internal/monitor"
+	"wsupgrade/internal/pool"
+)
+
+// TestLoggedBodySurvivesBufferRecycle is the alias-safety regression test
+// for the buffer ownership protocol: an observation recorded with a Body
+// that aliases a pooled reply buffer must stay intact in the event log
+// after the dispatch layer recycles the buffer and the pool hands its
+// backing array to a later request that overwrites it. The monitor's
+// copy-on-record boundary (logRing.add) is what makes this hold.
+func TestLoggedBodySurvivesBufferRecycle(t *testing.T) {
+	m := monitor.New(monitor.WithLogCapacity(8))
+
+	var bufs pool.BufPool
+	b := bufs.Get()
+	b.B = append(b.B, "<GetQuoteResponse><Price>42.17</Price></GetQuoteResponse>"...)
+	want := append([]byte(nil), b.B...)
+
+	m.Note(monitor.Record{
+		Time:      time.Now(),
+		Operation: "GetQuote",
+		Winner:    "v1",
+		Releases: []monitor.Observation{{
+			Release:   "v1",
+			Responded: true,
+			Judged:    true,
+			Latency:   3 * time.Millisecond,
+			Body:      b.B, // aliases the pooled buffer
+		}},
+	})
+
+	// The dispatcher's completion: the reply buffer goes back to the pool.
+	b.Release()
+
+	// A later request draws the same backing array and overwrites it.
+	b2 := bufs.Get()
+	b2.B = b2.B[:cap(b2.B)]
+	for i := range b2.B {
+		b2.B[i] = 'X'
+	}
+
+	log := m.Log()
+	if len(log) != 1 || len(log[0].Releases) != 1 {
+		t.Fatalf("log shape: %d records", len(log))
+	}
+	if got := log[0].Releases[0].Body; !bytes.Equal(got, want) {
+		t.Fatalf("logged body corrupted by buffer recycle:\n got %q\nwant %q", got, want)
+	}
+	b2.Release()
+}
+
+// TestLoggedBodySurvivesRingLap asserts the second half of the contract:
+// a snapshot taken from the log owns its body bytes, so later records
+// lapping the ring (which overwrite the slot's reused backing in place)
+// do not corrupt an earlier snapshot.
+func TestLoggedBodySurvivesRingLap(t *testing.T) {
+	m := monitor.New(monitor.WithLogCapacity(1))
+
+	m.Note(monitor.Record{
+		Operation: "GetQuote",
+		Releases: []monitor.Observation{{
+			Release:   "v1",
+			Responded: true,
+			Body:      []byte("first body"),
+		}},
+	})
+	snap := m.Log()
+
+	// Lap the one-slot ring: the slot's backing is overwritten in place.
+	m.Note(monitor.Record{
+		Operation: "GetQuote",
+		Releases: []monitor.Observation{{
+			Release:   "v1",
+			Responded: true,
+			Body:      []byte("second, rather longer body"),
+		}},
+	})
+
+	if got := string(snap[0].Releases[0].Body); got != "first body" {
+		t.Fatalf("snapshot body corrupted by ring lap: %q", got)
+	}
+	if got := string(m.Log()[0].Releases[0].Body); got != "second, rather longer body" {
+		t.Fatalf("post-lap log body: %q", got)
+	}
+}

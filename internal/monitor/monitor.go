@@ -63,11 +63,20 @@ type Observation struct {
 	Failed bool `json:"failed"`
 	// Latency is the observed execution time.
 	Latency time.Duration `json:"latency_ns"`
+	// Body is the release's response payload as observed by the
+	// middleware (nil when not captured). At Note time it may alias a
+	// pooled reply buffer owned by the dispatcher: the monitor copies it
+	// into log-slot-owned backing at the record boundary (logRing.add)
+	// and never retains the caller's bytes, so the dispatcher may
+	// recycle the buffer the moment Note returns. Excluded from JSON
+	// sinks, which would otherwise base64 every payload.
+	Body []byte `json:"-"`
 }
 
 // Record is one intercepted demand with all its release observations.
-// Note does not retain the Releases slice past its return: callers may
-// recycle it.
+// Note does not retain the Releases slice — or the bytes its
+// observations' Body fields alias — past its return: callers may
+// recycle both.
 type Record struct {
 	// Time is the interception timestamp.
 	Time time.Time `json:"time"`
@@ -539,12 +548,22 @@ type logSlot struct {
 	mu  sync.Mutex
 	seq uint64 // 0 = never written
 	rec Record
+	// bodies is the slot-owned backing for the observations' Body
+	// copies, reused across ring laps so steady-state recording
+	// allocates nothing.
+	bodies [][]byte
 }
 
 func newLogRing(capacity int) *logRing {
 	return &logRing{slots: make([]logSlot, capacity)}
 }
 
+// add is on the judgment hot path (Note calls it whenever the log is
+// enabled) and allocates only when the per-demand observation count
+// grows past anything the slot has seen — steady state recycles the
+// slot's own backing.
+//
+//wsu:noalloc
 func (r *logRing) add(rec Record) {
 	n := r.seq.Add(1)
 	s := &r.slots[(n-1)%uint64(len(r.slots))]
@@ -553,12 +572,24 @@ func (r *logRing) add(rec Record) {
 	// slot must not clobber a newer record that lapped it.
 	if n > s.seq {
 		s.seq = n
-		// The observations are copied into the slot's own backing array
-		// (reused across laps), so the ring never retains — or aliases —
-		// a caller's slice, and callers may pool theirs.
+		// The observations — and their body bytes — are copied into the
+		// slot's own backing arrays (reused across laps), so the ring
+		// never retains or aliases a caller's slice: callers may pool
+		// their observation slices and recycle the pooled reply buffers
+		// the bodies alias as soon as add returns. This is the
+		// copy-on-record boundary of the buffer ownership protocol.
 		releases := s.rec.Releases
 		s.rec = rec
 		s.rec.Releases = append(releases[:0], rec.Releases...)
+		if len(s.rec.Releases) > len(s.bodies) {
+			//wsu:allow noalloc -- the backing grows only when the per-demand observation count exceeds anything this slot has seen
+			s.bodies = make([][]byte, len(s.rec.Releases))
+		}
+		for i := range s.rec.Releases {
+			obs := &s.rec.Releases[i]
+			s.bodies[i] = append(s.bodies[i][:0], obs.Body...)
+			obs.Body = s.bodies[i]
+		}
 	}
 	s.mu.Unlock()
 }
@@ -575,10 +606,14 @@ func (r *logRing) snapshot() []Record {
 		s.mu.Lock()
 		if s.seq != 0 {
 			e := entry{s.seq, s.rec}
-			// The slot's backing array is overwritten in place when the
-			// ring laps; the snapshot takes its own copy while the slot
-			// lock still protects it.
+			// The slot's backing arrays are overwritten in place when the
+			// ring laps; the snapshot takes its own copies (observations
+			// and body bytes) while the slot lock still protects them.
 			e.rec.Releases = append([]Observation(nil), s.rec.Releases...)
+			for i := range e.rec.Releases {
+				obs := &e.rec.Releases[i]
+				obs.Body = append([]byte(nil), obs.Body...)
+			}
 			entries = append(entries, e)
 		}
 		s.mu.Unlock()

@@ -1,0 +1,117 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultMaxBufCap bounds the capacity a BufPool retains when MaxCap is
+// zero: an occasional giant body must not pin its buffer in the pool
+// forever.
+const defaultMaxBufCap = 1 << 16
+
+// Buf is a pooled byte buffer with an explicit reference count — the
+// unit of the body-buffer ownership protocol. A Get returns a buffer
+// with one reference, owned by the caller; every transfer of ownership
+// hands that reference on, every new alias that outlives the current
+// owner takes its own reference with Retain, and each reference is
+// discharged by exactly one Release. The final Release recycles the
+// buffer, so any alias kept past one's own Release (a sniffed body, a
+// logged observation) reads recycled memory — the aliasing hazard the
+// protocol exists to make explicit.
+//
+// The reference count is atomic: Retain and Release are safe from
+// concurrent owners, but the contents B are not synchronized — writers
+// must be the sole owner.
+type Buf struct {
+	// B is the buffer contents. The owner may reslice and append to it
+	// freely; the backing array returns to the pool on final Release.
+	B []byte
+
+	refs atomic.Int32
+	pool *BufPool
+}
+
+// Retain adds a reference: the caller is keeping an alias of B beyond
+// the lifetime of the reference it already holds, and commits to one
+// additional Release. Retain on a nil buffer is a no-op, so unpooled
+// bodies (nil Buf) flow through the same call sites.
+//
+//wsu:noalloc
+func (b *Buf) Retain() {
+	if b == nil {
+		return
+	}
+	b.refs.Add(1)
+}
+
+// Release discharges one reference; the final one recycles the buffer
+// into its pool, after which B must not be touched. Releasing more
+// times than Get+Retain granted is a protocol violation and panics.
+// Release on a nil buffer is a no-op (see Retain).
+//
+//wsu:noalloc
+//wsu:owns b
+//wsu:allow poolcheck -- a positive refcount keeps the buffer live; the final Release recycles it
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+	case n == 0:
+		b.pool.put(b)
+	default:
+		//wsu:allow noalloc -- the over-release panic is a protocol violation, never the steady state
+		panic("pool: Buf released more times than its references allow")
+	}
+}
+
+// Refs reports the current reference count (for tests and diagnostics).
+func (b *Buf) Refs() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.refs.Load())
+}
+
+// BufPool recycles Bufs. The zero value is ready to use.
+type BufPool struct {
+	// MaxCap bounds the capacity put keeps; larger buffers are dropped
+	// to the GC. Zero means a 64 KiB default.
+	MaxCap int
+
+	bufs sync.Pool // *Buf with refs == 0
+}
+
+// Get returns a buffer with one reference and zero-length contents.
+// Ownership transfers to the caller: exactly one Release (plus one per
+// extra Retain) must eventually pair with it.
+//
+//wsu:owns return
+func (p *BufPool) Get() *Buf {
+	if b, ok := p.bufs.Get().(*Buf); ok {
+		b.refs.Store(1)
+		b.B = b.B[:0]
+		return b
+	}
+	b := &Buf{pool: p}
+	b.refs.Store(1)
+	return b
+}
+
+// put recycles a fully released buffer, dropping oversized ones.
+//
+//wsu:owns b
+//wsu:allow poolcheck -- oversized buffers are dropped to the GC by design
+func (p *BufPool) put(b *Buf) {
+	max := p.MaxCap
+	if max == 0 {
+		max = defaultMaxBufCap
+	}
+	if cap(b.B) > max {
+		return
+	}
+	b.B = b.B[:0]
+	p.bufs.Put(b)
+}

@@ -1,0 +1,89 @@
+package pool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBufGetRelease(t *testing.T) {
+	var p BufPool
+	b := p.Get()
+	if b.Refs() != 1 {
+		t.Fatalf("fresh Buf has %d refs, want 1", b.Refs())
+	}
+	b.B = append(b.B, "hello"...)
+	b.Release()
+	if b.Refs() != 0 {
+		t.Fatalf("released Buf has %d refs, want 0", b.Refs())
+	}
+}
+
+func TestBufRecycles(t *testing.T) {
+	var p BufPool
+	b := p.Get()
+	b.B = append(b.B, bytes.Repeat([]byte("x"), 1024)...)
+	b.Release()
+	// The next Get must come back zero-length even when it reuses the
+	// released buffer's backing array.
+	c := p.Get()
+	if len(c.B) != 0 {
+		t.Fatalf("recycled Buf has len %d, want 0", len(c.B))
+	}
+	if c.Refs() != 1 {
+		t.Fatalf("recycled Buf has %d refs, want 1", c.Refs())
+	}
+	c.Release()
+}
+
+func TestBufRetainDefersRecycle(t *testing.T) {
+	var p BufPool
+	b := p.Get()
+	b.B = append(b.B, "payload"...)
+	b.Retain() // second owner
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("after Retain+Release refs = %d, want 1", b.Refs())
+	}
+	// Still live: contents must be intact and the pool must not hand
+	// the buffer out again.
+	if string(b.B) != "payload" {
+		t.Fatalf("retained Buf contents clobbered: %q", b.B)
+	}
+	b.Release()
+	if b.Refs() != 0 {
+		t.Fatalf("after final Release refs = %d, want 0", b.Refs())
+	}
+}
+
+func TestBufOverReleasePanics(t *testing.T) {
+	var p = BufPool{}
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestBufNilSafe(t *testing.T) {
+	var b *Buf
+	b.Retain()
+	b.Release()
+	if b.Refs() != 0 {
+		t.Fatal("nil Buf reports nonzero refs")
+	}
+}
+
+func TestBufPoolDropsOversized(t *testing.T) {
+	p := BufPool{MaxCap: 64}
+	b := p.Get()
+	b.B = append(b.B, bytes.Repeat([]byte("x"), 128)...)
+	b.Release()
+	c := p.Get()
+	defer c.Release()
+	if cap(c.B) > 64 {
+		t.Fatalf("oversized buffer was retained: cap %d", cap(c.B))
+	}
+}

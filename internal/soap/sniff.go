@@ -34,7 +34,12 @@ func SniffOperation(data []byte) (operation string, ok bool) {
 
 // SniffBody extracts the raw inner XML of the SOAP Body — exactly the
 // span Parse returns as BodyXML — plus the local name of its first child
-// element, without building a DOM. The returned slice aliases data.
+// element, without building a DOM. The returned slice aliases data: when
+// data is the contents of a pooled buffer (pool.Buf), the alias is only
+// valid while a reference to that buffer is held, and a caller keeping
+// the span past its own reference must Retain the buffer or copy the
+// bytes — the dispatch layer's sniffed replies carry the buffer alongside
+// the alias (adjudicate.Reply.Buf) for exactly this reason.
 func SniffBody(data []byte) (bodyXML []byte, operation string, ok bool) {
 	s := sniffer{data: data}
 	return s.sniffBody()

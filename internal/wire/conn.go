@@ -17,7 +17,15 @@ import (
 	"time"
 
 	"wsupgrade/internal/httpx"
+	bufpool "wsupgrade/internal/pool"
 )
+
+// respBodyPool backs response-body buffers. Ownership of each buffer
+// transfers out of the transport with the exchange result (see
+// Client.PostXML); the final Release — typically in dispatch after the
+// reply is judged, written and recorded — recycles it here. Bodies
+// above the connection scratch cap are dropped rather than retained.
+var respBodyPool = bufpool.BufPool{MaxCap: maxConnScratch}
 
 // aLongTimeAgo is the past deadline that poisons an in-flight read.
 var aLongTimeAgo = time.Unix(1, 0)
@@ -151,7 +159,11 @@ func (p *pool) close() {
 // keep-alive (the peer closed it while it sat idle) and is transparently
 // replaced by a fresh dial without consuming a retry attempt — matching
 // net/http, which re-dials retriable requests internally.
-func (p *pool) do(ctx context.Context, contentType string, body []byte, maxBytes int64) (status int, data []byte, hdr http.Header, err error) {
+// Ownership of the returned body buffer transfers to the caller: one
+// Release pairs with it (data is nil exactly when err is non-nil).
+//
+//wsu:owns return
+func (p *pool) do(ctx context.Context, contentType string, body []byte, maxBytes int64) (status int, data *bufpool.Buf, hdr http.Header, err error) {
 	cn, fresh, err := p.get(ctx)
 	if err != nil {
 		return 0, nil, nil, err
@@ -167,10 +179,12 @@ func (p *pool) do(ctx context.Context, contentType string, body []byte, maxBytes
 	return res.status, res.body, res.header, res.err
 }
 
-// exchangeResult carries one exchange's outcome.
+// exchangeResult carries one exchange's outcome. body is a pooled
+// buffer owned by whoever receives the result; it is non-nil exactly
+// when err is nil.
 type exchangeResult struct {
 	status      int
-	body        []byte
+	body        *bufpool.Buf
 	header      http.Header
 	gotResponse bool // a full status line arrived
 	err         error
@@ -225,6 +239,7 @@ func (p *pool) exchange(ctx context.Context, cn *conn, contentType string, body 
 		res.err = fmt.Errorf("wire: writing request: %w", err)
 		return res
 	}
+	//wsu:allow poolcheck -- ownership travels to the caller in res.body
 	status, data, hdr, reusable, err := cn.readResponse(maxBytes)
 	res.gotResponse = cn.sawStatusLine
 	if err != nil {
@@ -250,7 +265,6 @@ type conn struct {
 	wbuf     []byte      // request write scratch
 	lineBuf  []byte      // long-line overflow scratch
 	hdrBuf   []byte      // raw response header block (current exchange)
-	bodyBuf  []byte      // chunked-body accumulation scratch
 	lastRaw  []byte      // previous exchange's raw header block
 	lastHdr  http.Header // parsed form of lastRaw, reused on byte-equal blocks
 	poisoned atomic.Bool
@@ -409,10 +423,13 @@ func trimCRLF(b []byte) []byte {
 const maxInterimResponses = 5
 
 // readResponse parses one response. reusable reports whether the
-// connection may serve another exchange. body is a caller-owned copy;
+// connection may serve another exchange. body is a pooled buffer whose
+// ownership transfers to the caller (nil exactly when err is non-nil);
 // hdr may be shared with earlier responses on this connection (see
 // setHeader) and is read-only.
-func (c *conn) readResponse(maxBytes int64) (status int, body []byte, hdr http.Header, reusable bool, err error) {
+//
+//wsu:owns return
+func (c *conn) readResponse(maxBytes int64) (status int, body *bufpool.Buf, hdr http.Header, reusable bool, err error) {
 	c.sawStatusLine = false
 	c.lineBudget = maxHeaderBytes
 	var proto11, connClose, chunked bool
@@ -476,41 +493,49 @@ func (c *conn) readResponse(maxBytes int64) (status int, body []byte, hdr http.H
 	keepAlive := proto11 && !connClose
 
 	// Body framing per RFC 7230 §3.3.3 (the subset a release can send).
+	// Each arm returns directly so the pooled buffer it acquires flows
+	// straight to the //wsu:owns return handoff.
 	switch {
 	case status == http.StatusNoContent || status == http.StatusNotModified:
-		body = emptyBody
+		return status, respBodyPool.Get(), hdr, keepAlive, nil
 	case chunked:
-		if body, err = c.readChunkedBody(maxBytes); err != nil {
+		body, err := c.readChunkedBody(maxBytes)
+		if err != nil {
+			body.Release() // nil on error; Release is nil-safe
 			return 0, nil, nil, false, err
 		}
+		return status, body, hdr, keepAlive, nil
 	case contentLength >= 0:
 		if contentLength > maxBytes {
 			return 0, nil, nil, false, fmt.Errorf("wire: response of %d bytes: %w", contentLength, httpx.ErrTooLarge)
 		}
+		body := respBodyPool.Get()
 		if contentLength == 0 {
-			body = emptyBody
-			break
+			return status, body, hdr, keepAlive, nil
 		}
 		// The declared length already passed the bound check, so an
-		// exact read enforces it without further plumbing.
-		body = make([]byte, contentLength)
-		if _, err := io.ReadFull(c.br, body); err != nil {
+		// exact read enforces it without further plumbing. The pooled
+		// buffer grows at most once per connection steady state.
+		if int64(cap(body.B)) < contentLength {
+			body.B = make([]byte, contentLength)
+		} else {
+			body.B = body.B[:contentLength]
+		}
+		if _, err := io.ReadFull(c.br, body.B); err != nil {
+			body.Release()
 			return 0, nil, nil, false, fmt.Errorf("wire: reading body: %w", err)
 		}
+		return status, body, hdr, keepAlive, nil
 	default:
 		// No explicit framing: the body runs to connection close.
-		keepAlive = false
-		var err error
-		if body, err = httpx.ReadBounded(c.br, maxBytes); err != nil {
+		body, err := httpx.ReadBoundedBuf(c.br, maxBytes)
+		if err != nil {
+			body.Release() // nil on error; Release is nil-safe
 			return 0, nil, nil, false, fmt.Errorf("wire: reading body: %w", err)
 		}
+		return status, body, hdr, false, nil
 	}
-	return status, body, hdr, keepAlive, nil
 }
-
-// emptyBody is the shared zero-length body, so empty responses do not
-// allocate.
-var emptyBody = []byte{}
 
 // header exposes the response headers, reusing the previous parsed map
 // whenever the raw header block is byte-identical to the previous
@@ -542,12 +567,17 @@ func (c *conn) header(raw []byte) http.Header {
 	return hdr
 }
 
-// readChunkedBody decodes a chunked transfer coding, bounded by max.
-func (c *conn) readChunkedBody(max int64) ([]byte, error) {
-	buf := c.bodyBuf[:0]
+// readChunkedBody decodes a chunked transfer coding, bounded by max,
+// into a pooled buffer the caller owns.
+//
+//wsu:owns return
+func (c *conn) readChunkedBody(max int64) (*bufpool.Buf, error) {
+	b := respBodyPool.Get()
+	b.B = b.B[:0]
 	for {
 		line, err := c.readLine()
 		if err != nil {
+			b.Release()
 			return nil, fmt.Errorf("wire: reading chunk size: %w", err)
 		}
 		if i := bytes.IndexByte(line, ';'); i >= 0 {
@@ -555,21 +585,25 @@ func (c *conn) readChunkedBody(max int64) ([]byte, error) {
 		}
 		size, err := strconv.ParseInt(string(bytes.TrimSpace(line)), 16, 63)
 		if err != nil || size < 0 {
+			b.Release()
 			return nil, fmt.Errorf("wire: bad chunk size %q", line)
 		}
 		if size == 0 {
 			break
 		}
-		if int64(len(buf))+size > max {
+		if int64(len(b.B))+size > max {
+			b.Release()
 			return nil, fmt.Errorf("wire: chunked response: %w", httpx.ErrTooLarge)
 		}
-		n := len(buf)
-		buf = grow(buf, int(size))
-		if _, err := io.ReadFull(c.br, buf[n:n+int(size)]); err != nil {
+		n := len(b.B)
+		b.B = grow(b.B, int(size))
+		if _, err := io.ReadFull(c.br, b.B[n:n+int(size)]); err != nil {
+			b.Release()
 			return nil, fmt.Errorf("wire: reading chunk: %w", err)
 		}
 		crlf, err := c.readLine()
 		if err != nil || len(crlf) != 0 {
+			b.Release()
 			return nil, fmt.Errorf("wire: missing chunk terminator")
 		}
 	}
@@ -577,18 +611,14 @@ func (c *conn) readChunkedBody(max int64) ([]byte, error) {
 	for {
 		line, err := c.readLine()
 		if err != nil {
+			b.Release()
 			return nil, fmt.Errorf("wire: reading trailers: %w", err)
 		}
 		if len(line) == 0 {
 			break
 		}
 	}
-	out := make([]byte, len(buf))
-	copy(out, buf)
-	if cap(buf) <= maxConnScratch {
-		c.bodyBuf = buf[:0]
-	}
-	return out, nil
+	return b, nil
 }
 
 func grow(b []byte, n int) []byte {

@@ -163,6 +163,9 @@ func (c *Client) fallback() *http.Client {
 //
 // Result.Header may be shared with subsequent results from the same
 // endpoint and must be treated as read-only.
+//
+// Result.BodyBuf carries ownership of the pooled response-body buffer
+// to the caller; see httpx.Result.
 func (c *Client) PostXML(ctx context.Context, rawURL, contentType string, body []byte, policy httpx.RetryPolicy) (httpx.Result, error) {
 	if err := policy.Validate(); err != nil {
 		return httpx.Result{}, err
@@ -188,6 +191,7 @@ func (c *Client) PostXML(ctx context.Context, rawURL, contentType string, body [
 			case <-time.After(policy.BackoffFor(attempt)):
 			}
 		}
+		//wsu:allow poolcheck -- a non-nil error carries no body; ownership otherwise transfers via Result.BodyBuf
 		status, data, hdr, err := p.do(ctx, contentType, body, maxBytes)
 		if err != nil {
 			if errors.Is(err, httpx.ErrTooLarge) {
@@ -203,14 +207,16 @@ func (c *Client) PostXML(ctx context.Context, rawURL, contentType string, body [
 		}
 		if policy.ShouldRetryStatus(status) && attempt < policy.Attempts {
 			lastErr = fmt.Errorf("wire: transient HTTP %d from %s", status, rawURL)
+			data.Release()
 			continue
 		}
 		return httpx.Result{
 			Status:   status,
-			Body:     data,
+			Body:     data.B,
 			Header:   hdr,
 			Attempts: attempt,
 			Latency:  time.Since(start),
+			BodyBuf:  data,
 		}, nil
 	}
 	return httpx.Result{}, fmt.Errorf("wire: POST %s failed after retries: %w", rawURL, lastErr)
