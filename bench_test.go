@@ -16,11 +16,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/journal"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/relmodel"
@@ -627,6 +629,31 @@ func BenchmarkEngineInProcess(b *testing.B) {
 			driveInProcess(b, newInProcessEngine(b, 2, ModeReliability, 0, tc.phase, tc.via))
 		})
 	}
+
+	// The durable-campaign contract says journaling stays off the
+	// dispatch hot path: the writer only sees transitions, release
+	// changes and periodic snapshots, never per-request outcomes. This
+	// variant drives the same old-only fast path with a live journal
+	// attached and a snapshot loop armed; the baseline gates it at
+	// exactly 0 allocs/op, so any journal code leaking into dispatch
+	// fails the bench gate. The snapshot interval is a realistic 1s —
+	// far longer than a 1000x run, so the loop stays parked and the
+	// measurement isolates the attachment cost itself.
+	b.Run("old-only-fastpath-journaled", func(b *testing.B) {
+		engine := newInProcessEngine(b, 2, ModeReliability, 0, PhaseOldOnly, viaWire)
+		w, _, err := journal.Open(filepath.Join(b.TempDir(), "bench.journal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = w.Close() })
+		engine.AttachJournal(w)
+		stop, err := engine.StartCampaignSnapshots(w, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(stop)
+		driveInProcess(b, engine)
+	})
 }
 
 // BenchmarkEngineInProcessModes measures all four §4.2 operating modes at

@@ -55,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -63,6 +64,7 @@ import (
 	"wsupgrade/internal/core"
 	"wsupgrade/internal/dispatch"
 	"wsupgrade/internal/fleet"
+	"wsupgrade/internal/journal"
 	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/service"
@@ -289,6 +291,44 @@ func loadFleetConfig(path string, defaultTarget float64, netHTTP bool) (fleet.Co
 	return cfg, closers, nil
 }
 
+// attachEngineJournal makes a single-unit campaign durable, mirroring
+// what the fleet does per unit: quarantine-tolerant open, restore the
+// replayed campaign, subscribe the writer to the engine's lifecycle,
+// compact history into one snapshot, and start the snapshot loop. The
+// returned closer stops the loop and flushes the writer.
+func attachEngineJournal(engine *core.Engine, dir string, interval time.Duration) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal dir: %w", err)
+	}
+	w, jst, err := journal.OpenOrQuarantine(filepath.Join(dir, "unit.journal"))
+	if err != nil {
+		if w == nil {
+			return nil, fmt.Errorf("opening journal: %w", err)
+		}
+		log.Printf("upgraded: journal quarantined, campaign starts fresh: %v", err)
+	}
+	if err := engine.RestoreCampaign(jst); err != nil {
+		log.Printf("upgraded: journal restore failed, campaign starts fresh: %v", err)
+	}
+	engine.AttachJournal(w)
+	snap := engine.CampaignSnapshot()
+	if err := w.Compact(journal.Entry{
+		Kind: journal.KindSnapshot, Time: time.Now().UnixNano(), Snapshot: &snap,
+	}); err != nil {
+		_ = w.Close()
+		return nil, fmt.Errorf("compacting journal: %w", err)
+	}
+	stop, err := engine.StartCampaignSnapshots(w, interval)
+	if err != nil {
+		_ = w.Close()
+		return nil, err
+	}
+	return func() error {
+		stop()
+		return w.Close()
+	}, nil
+}
+
 // onListen, when set, observes the bound listener address (tests bind
 // to :0 and need the real port).
 var onListen func(net.Addr)
@@ -314,6 +354,9 @@ func run(ctx context.Context, args []string) error {
 		adminToken = fs.String("admin-token", "", "fleet mode: token guarding the /fleet/ admin API (overrides the config's adminToken)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		netHTTP    = fs.Bool("net-http", false, "use the net/http release transport instead of the default wire client (TLS, proxies)")
+		journalDir = fs.String("journal-dir", "", "directory for durable campaign journals; a restart resumes each unit's phase and posterior from its journal")
+		snapEvery  = fs.Duration("snapshot-interval", fleet.DefaultSnapshotInterval, "journal snapshot cadence (with -journal-dir)")
+		addrFile   = fs.String("addr-file", "", "write the bound listener address to this file (for wrappers that start on :0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,6 +375,8 @@ func run(ctx context.Context, args []string) error {
 		if *adminToken != "" {
 			cfg.AdminToken = *adminToken
 		}
+		cfg.JournalDir = *journalDir
+		cfg.SnapshotInterval = *snapEvery
 		f, err := fleet.New(cfg)
 		if err != nil {
 			for _, c := range logClosers {
@@ -374,9 +419,25 @@ func run(ctx context.Context, args []string) error {
 			}
 			return err
 		}
+		var journalCloser func() error
+		if *journalDir != "" {
+			journalCloser, err = attachEngineJournal(engine, *journalDir, *snapEvery)
+			if err != nil {
+				_ = engine.Close()
+				if logCloser != nil {
+					_ = logCloser.Close()
+				}
+				return err
+			}
+		}
 		handler = engine.Handler()
 		closer = func() error {
 			err := engine.Close()
+			if journalCloser != nil {
+				if jerr := journalCloser(); err == nil {
+					err = jerr
+				}
+			}
 			if logCloser != nil {
 				_ = logCloser.Close()
 			}
@@ -393,6 +454,19 @@ func run(ctx context.Context, args []string) error {
 	}
 	if onListen != nil {
 		onListen(ln.Addr())
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a polling wrapper never reads a torn file.
+		tmp := *addrFile + ".tmp"
+		werr := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644)
+		if werr == nil {
+			werr = os.Rename(tmp, *addrFile)
+		}
+		if werr != nil {
+			_ = ln.Close()
+			_ = closer()
+			return fmt.Errorf("writing -addr-file: %w", werr)
+		}
 	}
 	srv := &http.Server{
 		Handler:           handler,

@@ -11,7 +11,10 @@ import (
 // wall-clock sampling via time.Now — silently invalidates a replayed
 // run. Randomness comes from injected xrand generators and time from
 // explicit clocks; importing math/rand (v1 or v2) or calling time.Now
-// in these packages is flagged.
+// in these packages is flagged. The journal package is held to the
+// same bar for a different reason: replay must be a pure function of
+// the bytes on disk, so entry timestamps are caller-stamped, never
+// sampled inside the codec or writer.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "deterministic packages use injected randomness and clocks",
@@ -19,7 +22,7 @@ var DetRand = &Analyzer{
 }
 
 func runDetRand(pass *Pass) error {
-	if !pathTail(pass.Pkg.ImportPath, "faulty", "sim", "upgsim", "adjudicate") {
+	if !pathTail(pass.Pkg.ImportPath, "faulty", "sim", "upgsim", "adjudicate", "journal") {
 		return nil
 	}
 	info := pass.Pkg.Info

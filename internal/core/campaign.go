@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wsupgrade/internal/journal"
+	"wsupgrade/internal/lifecycle"
+)
+
+// releaseHooks observes release-set changes, the topology counterpart
+// of lifecycle.Hooks (which only fires on phase changes). Observers run
+// after publication, outside the engine's write lock, with panics
+// contained per observer.
+type releaseHooks struct {
+	mu  sync.Mutex
+	fns []func(added bool, ep Endpoint)
+}
+
+func (h *releaseHooks) add(fn func(added bool, ep Endpoint)) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fns = append(h.fns, fn)
+}
+
+func (h *releaseHooks) fire(added bool, ep Endpoint) {
+	h.mu.Lock()
+	fns := h.fns
+	h.mu.Unlock()
+	for _, fn := range fns {
+		func() {
+			defer func() { _ = recover() }()
+			fn(added, ep)
+		}()
+	}
+}
+
+func (h *releaseHooks) empty() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.fns) == 0
+}
+
+// OnReleaseChange registers an observer of release-set changes: fn is
+// called with added=true for each release that joined the deployed set
+// and added=false for each that left it. Like transition hooks,
+// observers fire after the new state is published, must not block, and
+// must not call the engine's own mutators.
+func (e *Engine) OnReleaseChange(fn func(added bool, ep Endpoint)) {
+	e.relHooks.add(fn)
+}
+
+// fireReleaseChanges diffs two published release sets and notifies the
+// release observers. Runs outside the write lock, on the management
+// path only (release sets change via AddRelease/RemoveRelease/restore,
+// never per-request).
+func (e *Engine) fireReleaseChanges(prev, next []Endpoint) {
+	if e.relHooks.empty() {
+		return
+	}
+	for _, p := range prev {
+		found := false
+		for _, n := range next {
+			if n.Version == p.Version {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.relHooks.fire(false, p)
+		}
+	}
+	for _, n := range next {
+		found := false
+		for _, p := range prev {
+			if p.Version == n.Version {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.relHooks.fire(true, n)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Durable campaigns: journal capture and recovery
+
+// CampaignSnapshot captures the engine's resumable campaign state: the
+// published phase/mode/quorum/release set plus the monitor's
+// aggregation state. It is what the periodic journal snapshot records.
+func (e *Engine) CampaignSnapshot() journal.Snapshot {
+	st := e.state.Load()
+	rels := make([]journal.Release, len(st.releases))
+	for i, r := range st.releases {
+		rels[i] = journal.Release{Version: r.Version, URL: r.URL}
+	}
+	return journal.Snapshot{
+		Phase:      st.phase,
+		Mode:       int(st.mode),
+		Quorum:     st.quorum,
+		SwitchedAt: st.switchedAt,
+		Releases:   rels,
+		Campaign:   e.mon.CampaignState(),
+	}
+}
+
+// RestoreCampaign resumes a replayed campaign: the monitor is seeded
+// with the last snapshot's aggregation state, releases the journal
+// knows but the configuration lost are re-deployed (recovery is
+// conservative: it adds, it never removes a configured release), and
+// the phase, mode, and quorum are force-published with
+// lifecycle.CauseRecovery. The phase restore deliberately bypasses the
+// transition rules — a restart resumes a position, it does not perform
+// a §4.1 transition — but still validates the phase against the
+// deployed release count. Call it after New and before attaching the
+// journal writer, so the restore itself is not re-journaled as fresh
+// transitions.
+func (e *Engine) RestoreCampaign(jst journal.State) error {
+	if jst.Snapshot == nil && jst.Phase == 0 && len(jst.Releases) == 0 {
+		return nil // fresh journal: nothing to resume
+	}
+	if jst.Snapshot != nil {
+		if err := e.mon.Restore(jst.Snapshot.Campaign); err != nil {
+			return fmt.Errorf("core: restoring campaign monitor state: %w", err)
+		}
+	}
+	return e.updateState(lifecycle.CauseRecovery, func(s *engineState) error {
+		for _, r := range jst.Releases {
+			if r.URL == "" {
+				continue
+			}
+			known := false
+			for _, have := range s.releases {
+				if have.Version == r.Version {
+					known = true
+					break
+				}
+			}
+			if !known {
+				s.releases = append(s.releases, Endpoint{Version: r.Version, URL: r.URL})
+			}
+		}
+		if snap := jst.Snapshot; snap != nil {
+			if m := Mode(snap.Mode); m.Known() {
+				s.mode = m
+				if m == ModeDynamic && snap.Quorum >= 1 && snap.Quorum <= len(s.releases) {
+					s.quorum = snap.Quorum
+				}
+			}
+			if snap.SwitchedAt > 0 {
+				s.switchedAt = snap.SwitchedAt
+			}
+		}
+		if jst.Phase != 0 {
+			if err := lifecycle.Validate(jst.Phase, len(s.releases)); err != nil {
+				return err
+			}
+			s.phase = jst.Phase
+		}
+		return nil
+	})
+}
+
+// AttachJournal subscribes a journal writer to the engine's lifecycle:
+// every phase transition and release-set change is appended (with their
+// causes) as it happens. Appends are asynchronous and never block the
+// observers' callers; the journal stays entirely off the dispatch hot
+// path, which touches neither hook.
+func (e *Engine) AttachJournal(w *journal.Writer) {
+	if w == nil {
+		return
+	}
+	e.OnTransition(func(t lifecycle.Transition) {
+		tr := t
+		w.Append(journal.Entry{Kind: journal.KindTransition, Time: time.Now().UnixNano(), Transition: &tr})
+	})
+	e.OnReleaseChange(func(added bool, ep Endpoint) {
+		kind := journal.KindReleaseAdd
+		if !added {
+			kind = journal.KindReleaseRemove
+		}
+		w.Append(journal.Entry{
+			Kind:    kind,
+			Time:    time.Now().UnixNano(),
+			Release: &journal.Release{Version: ep.Version, URL: ep.URL},
+		})
+	})
+}
+
+// StartCampaignSnapshots appends a CampaignSnapshot to the journal
+// every interval, bounding how much posterior a crash can lose to one
+// interval's worth of demands. The returned stop function blocks until
+// the snapshot goroutine has exited (it does not close the writer).
+func (e *Engine) StartCampaignSnapshots(w *journal.Writer, interval time.Duration) (stop func(), err error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: snapshots need a journal writer", ErrBadConfig)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("%w: snapshot interval %v", ErrBadConfig, interval)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				snap := e.CampaignSnapshot()
+				w.Append(journal.Entry{Kind: journal.KindSnapshot, Time: time.Now().UnixNano(), Snapshot: &snap})
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}, nil
+}

@@ -278,8 +278,10 @@ type Engine struct {
 	state atomic.Pointer[engineState]
 	mu    sync.Mutex // serializes state writers (copy-on-write publishers)
 
-	// hooks observe lifecycle transitions (fleet aggregation, logging).
-	hooks lifecycle.Hooks
+	// hooks observe lifecycle transitions (fleet aggregation, logging);
+	// relHooks observe release-set changes (journal capture).
+	hooks    lifecycle.Hooks
+	relHooks releaseHooks
 
 	policyMu sync.Mutex // serializes posterior evaluation
 
@@ -499,6 +501,7 @@ func (e *Engine) updateState(cause lifecycle.Cause, mutate func(*engineState) er
 	if from != to {
 		e.hooks.Fire(lifecycle.Transition{From: from, To: to, Cause: cause, Demands: demands})
 	}
+	e.fireReleaseChanges(cur.releases, next.releases)
 	return nil
 }
 

@@ -1,0 +1,126 @@
+package events
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishDelivers(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub := h.Subscribe(8)
+	h.Publish("phase", map[string]string{"unit": "flights", "to": "parallel"})
+	select {
+	case ev := <-sub.C:
+		if ev.Type != "phase" || ev.ID != 1 {
+			t.Fatalf("got %+v", ev)
+		}
+		var m map[string]string
+		if err := json.Unmarshal(ev.Data, &m); err != nil || m["unit"] != "flights" {
+			t.Fatalf("payload %q err %v", ev.Data, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+// A slow subscriber must lose events — with accounting — while fast
+// subscribers and the publisher are unaffected.
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	slow := h.Subscribe(2)
+	fast := h.Subscribe(64)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			h.Publish("confidence", i) // must never block on `slow`
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber buffer")
+	}
+
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("slow subscriber Dropped = %d, want 8", got)
+	}
+	if got := h.DropsTotal(); got != 8 {
+		t.Fatalf("hub DropsTotal = %d, want 8", got)
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case ev := <-fast.C:
+			if ev.ID != uint64(i+1) {
+				t.Fatalf("fast subscriber event %d has ID %d", i, ev.ID)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("fast subscriber missing event %d", i)
+		}
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub := h.Subscribe(4)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if _, open := <-sub.C; open {
+		t.Fatal("canceled subscription channel still open")
+	}
+	h.Publish("phase", 1) // must not panic on the canceled sub
+	if h.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after cancel", h.Subscribers())
+	}
+}
+
+func TestCloseClosesSubscribers(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(4)
+	h.Close()
+	if _, open := <-sub.C; open {
+		t.Fatal("subscription open after hub Close")
+	}
+	// Post-close operations are calm no-ops.
+	h.Publish("phase", 1)
+	h.Close()
+	late := h.Subscribe(4)
+	if _, open := <-late.C; open {
+		t.Fatal("subscription on a closed hub is open")
+	}
+}
+
+func TestConcurrentPublishSubscribeCancel(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Publish("phase", i)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := h.Subscribe(1)
+				// Drain a little, then leave.
+				select {
+				case <-sub.C:
+				default:
+				}
+				sub.Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+}

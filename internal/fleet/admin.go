@@ -11,6 +11,7 @@ package fleet
 //	DELETE /fleet/units/<unit>/releases/<ver> → phases the release out
 //	GET    /fleet/units/<unit>/confidence?operation=op → core.ConfidenceReport
 //	GET    /fleet/healthz                     → []UnitHealth (503 if any unit is all-down)
+//	GET    /fleet/events                      → Server-Sent Events stream (see sse.go)
 //	POST   /fleet/notify                      → registry upgrade-notification fan-in
 
 import (
@@ -34,6 +35,7 @@ func (f *Fleet) adminHandler() http.Handler {
 	mux.HandleFunc("/fleet/units", f.handleUnits)
 	mux.HandleFunc("/fleet/units/", f.handleUnit)
 	mux.HandleFunc("/fleet/healthz", f.serveHealthz)
+	mux.HandleFunc("/fleet/events", f.handleEvents)
 	mux.Handle("/fleet/notify", f.NotificationHandler())
 	if f.adminToken == "" {
 		return mux

@@ -1,0 +1,177 @@
+package fleet
+
+// Durable campaigns and the push control plane.
+//
+// With Config.JournalDir set, every unit journals its campaign — phase
+// transitions with causes, release-set changes, periodic posterior
+// snapshots — to <dir>/<unit>.journal, and a restarted fleet resumes
+// each unit mid-campaign from the replayed journal. Corruption is never
+// fatal: a journal that fails replay is quarantined aside and the unit
+// starts a fresh one (see journal.OpenOrQuarantine).
+//
+// Independent of journaling, every fleet publishes campaign events to
+// an in-process hub; /fleet/events streams them as Server-Sent Events
+// (token-guarded like the rest of the admin surface). Subscribers have
+// bounded buffers and lose events rather than slowing the campaign; the
+// stream reports its own gaps.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wsupgrade/internal/core"
+	"wsupgrade/internal/events"
+	"wsupgrade/internal/journal"
+	"wsupgrade/internal/lifecycle"
+)
+
+// DefaultSnapshotInterval is the journal snapshot cadence when
+// Config.JournalDir is set without a Config.SnapshotInterval.
+const DefaultSnapshotInterval = 5 * time.Second
+
+// phaseEvent is the SSE payload for one unit's phase transition.
+type phaseEvent struct {
+	Unit    string `json:"unit"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Cause   string `json:"cause"`
+	Demands int    `json:"demands,omitempty"`
+}
+
+// releaseEvent is the SSE payload for one unit's release-set change.
+type releaseEvent struct {
+	Unit    string `json:"unit"`
+	Action  string `json:"action"` // "added" or "removed"
+	Version string `json:"version"`
+	URL     string `json:"url,omitempty"`
+}
+
+// confidenceEvent is the SSE payload for one unit's posterior readout,
+// published at each phase transition.
+type confidenceEvent struct {
+	Unit      string  `json:"unit"`
+	Published float64 `json:"published"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Demands   int     `json:"demands"`
+}
+
+// journalEvent is the SSE payload for journal lifecycle notes
+// (quarantines, restore failures) surfaced to subscribers.
+type journalEvent struct {
+	Unit string `json:"unit"`
+	Note string `json:"note"`
+}
+
+// setupCampaigns wires journaling (when dir != "") and event publishing
+// for every unit. Called once from New, after the unit set is built.
+func (f *Fleet) setupCampaigns(dir string, interval time.Duration) error {
+	f.hub = events.NewHub()
+	if dir != "" {
+		if interval <= 0 {
+			interval = DefaultSnapshotInterval
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("fleet: journal dir: %w", err)
+		}
+		for _, u := range f.units {
+			if err := f.attachUnitJournal(u, filepath.Join(dir, u.name+".journal"), interval); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Event publishing rides the same capture points as the journal:
+	// phase transitions (with a posterior readout) and release changes.
+	f.OnTransition(func(tr lifecycle.Transition) {
+		f.hub.Publish("phase", phaseEvent{
+			Unit:    tr.Unit,
+			From:    tr.From.String(),
+			To:      tr.To.String(),
+			Cause:   tr.Cause.String(),
+			Demands: tr.Demands,
+		})
+		if u := f.byName[tr.Unit]; u != nil {
+			if rep, err := u.engine.Confidence(""); err == nil {
+				f.hub.Publish("confidence", confidenceEvent{
+					Unit:      tr.Unit,
+					Published: rep.Published,
+					Old:       rep.Old,
+					New:       rep.New,
+					Demands:   rep.Demands,
+				})
+			}
+		}
+	})
+	for _, u := range f.units {
+		u := u
+		u.engine.OnReleaseChange(func(added bool, ep core.Endpoint) {
+			action := "added"
+			if !added {
+				action = "removed"
+			}
+			f.hub.Publish("release", releaseEvent{
+				Unit: u.name, Action: action, Version: ep.Version, URL: ep.URL,
+			})
+		})
+	}
+	return nil
+}
+
+// attachUnitJournal opens (or quarantines) one unit's journal, restores
+// the replayed campaign into the engine, subscribes the writer to the
+// engine's lifecycle, and starts the snapshot loop. Only I/O failures
+// are fatal; corruption and unrestorable replays degrade to a fresh
+// campaign with a note.
+func (f *Fleet) attachUnitJournal(u *Unit, path string, interval time.Duration) error {
+	w, jst, err := journal.OpenOrQuarantine(path)
+	if err != nil {
+		if w == nil {
+			return fmt.Errorf("fleet: unit %q journal: %w", u.name, err)
+		}
+		// Corrupt journal quarantined; the unit starts a fresh campaign.
+		f.journalNotes = append(f.journalNotes,
+			journalEvent{Unit: u.name, Note: err.Error()})
+	}
+	if err := u.engine.RestoreCampaign(jst); err != nil {
+		// A journal that replays cleanly but does not fit the configured
+		// unit (phase needs more releases than deployed, bad counters)
+		// must not block startup: the unit runs its configured campaign.
+		f.journalNotes = append(f.journalNotes,
+			journalEvent{Unit: u.name, Note: "restore failed, campaign starts fresh: " + err.Error()})
+	}
+	u.engine.AttachJournal(w)
+	// Compact the replayed history into one snapshot frame so the
+	// journal stays bounded across restarts.
+	snap := u.engine.CampaignSnapshot()
+	if err := w.Compact(journal.Entry{
+		Kind: journal.KindSnapshot, Time: time.Now().UnixNano(), Snapshot: &snap,
+	}); err != nil {
+		_ = w.Close()
+		return fmt.Errorf("fleet: unit %q journal compact: %w", u.name, err)
+	}
+	stop, err := u.engine.StartCampaignSnapshots(w, interval)
+	if err != nil {
+		_ = w.Close()
+		return fmt.Errorf("fleet: unit %q snapshots: %w", u.name, err)
+	}
+	f.journals = append(f.journals, w)
+	f.stopSnaps = append(f.stopSnaps, stop)
+	return nil
+}
+
+// closeCampaigns stops the snapshot loops and journal writers (flushing
+// their queues) and disconnects every event subscriber.
+func (f *Fleet) closeCampaigns() {
+	for _, stop := range f.stopSnaps {
+		stop()
+	}
+	f.stopSnaps = nil
+	for _, w := range f.journals {
+		_ = w.Close()
+	}
+	f.journals = nil
+	f.hub.Close()
+}

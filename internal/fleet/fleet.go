@@ -35,7 +35,9 @@ import (
 	"time"
 
 	"wsupgrade/internal/core"
+	"wsupgrade/internal/events"
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/journal"
 	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/registry"
 	"wsupgrade/internal/wire"
@@ -86,6 +88,15 @@ type Config struct {
 	// API open; the fleet shares one listener with consumer traffic, so
 	// production deployments should set it or filter /fleet/ upstream.
 	AdminToken string
+	// JournalDir, when set, makes every unit's campaign durable: phase
+	// transitions, release changes and periodic posterior snapshots are
+	// journaled to <JournalDir>/<unit>.journal, and a restarted fleet
+	// resumes each unit mid-campaign from the replayed journal. A
+	// journal that fails replay is quarantined, never fatal.
+	JournalDir string
+	// SnapshotInterval is the journal snapshot cadence (default
+	// DefaultSnapshotInterval). Only meaningful with JournalDir.
+	SnapshotInterval time.Duration
 }
 
 // Unit is one hosted upgrade unit.
@@ -118,6 +129,12 @@ type Fleet struct {
 	fallback   *http.Client // the wire client's pooled https/exotic fallback, fleet-owned
 	admin      http.Handler
 	adminToken string
+
+	// Push control plane and durable campaigns (see campaign.go).
+	hub          *events.Hub
+	journals     []*journal.Writer
+	stopSnaps    []func()
+	journalNotes []journalEvent
 }
 
 var _ http.Handler = (*Fleet)(nil)
@@ -219,6 +236,11 @@ func New(cfg Config) (*Fleet, error) {
 		f.byName[uc.Name] = u
 		f.byService[u.service] = u
 	}
+	if err := f.setupCampaigns(cfg.JournalDir, cfg.SnapshotInterval); err != nil {
+		f.closeCampaigns()
+		f.closeUnits()
+		return nil, err
+	}
 	f.admin = f.adminHandler()
 	return f, nil
 }
@@ -229,9 +251,11 @@ func (f *Fleet) closeUnits() {
 	}
 }
 
-// Close drains every unit's background monitoring work and shuts down
-// the shared transport's keep-alive connections.
+// Close stops the journal snapshot loops and writers, disconnects the
+// event subscribers, drains every unit's background monitoring work and
+// shuts down the shared transport's keep-alive connections.
 func (f *Fleet) Close() error {
+	f.closeCampaigns()
 	var firstErr error
 	for _, u := range f.units {
 		if err := u.engine.Close(); err != nil && firstErr == nil {

@@ -1,0 +1,97 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/lifecycle"
+	"wsupgrade/internal/monitor"
+)
+
+// fuzzSeed builds a valid journal image without *testing.T plumbing.
+func fuzzSeed() []byte {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	entries := []Entry{
+		{Kind: KindReleaseAdd, Time: 1, Release: &Release{Version: "1.0", URL: "http://old/"}},
+		{Kind: KindReleaseAdd, Time: 2, Release: &Release{Version: "2.0", URL: "http://new/"}},
+		{Kind: KindTransition, Time: 3, Transition: &lifecycle.Transition{
+			From: lifecycle.PhaseOldOnly, To: lifecycle.PhaseObservation, Cause: lifecycle.CauseManual}},
+		{Kind: KindSnapshot, Time: 4, Snapshot: &Snapshot{
+			Phase:    lifecycle.PhaseObservation,
+			Mode:     2,
+			Quorum:   1,
+			Releases: []Release{{Version: "1.0", URL: "http://old/"}, {Version: "2.0", URL: "http://new/"}},
+			Campaign: monitor.CampaignState{
+				Joint: bayes.JointCounts{N: 120, BOnly: 3},
+				PerOp: map[string]bayes.JointCounts{"add": {N: 120, BOnly: 3}},
+			},
+		}},
+		{Kind: KindTransition, Time: 5, Transition: &lifecycle.Transition{
+			From: lifecycle.PhaseObservation, To: lifecycle.PhaseParallel, Cause: lifecycle.CausePolicy, Demands: 150}},
+		{Kind: KindReleaseRemove, Time: 6, Release: &Release{Version: "1.0"}},
+	}
+	for _, e := range entries {
+		frame, err := encodeFrame(e)
+		if err != nil {
+			panic(err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplay: arbitrary mutations and truncations of a journal must
+// yield either a clean replay (of some valid prefix) or a typed
+// *CorruptError — never a panic, and never a fold that a second decode
+// of the reported valid prefix disagrees with.
+func FuzzReplay(f *testing.F) {
+	seed := fuzzSeed()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(magic)
+	f.Add(seed[:len(seed)-1])
+	f.Add(seed[:len(magic)+3])
+	f.Add(append(append([]byte(nil), seed...), make([]byte, 64)...))
+	// A few deterministic bit-flips as seeds; the fuzzer mutates further.
+	for _, off := range []int{0, len(magic), len(magic) + 5, len(seed) / 2, len(seed) - 2} {
+		mut := append([]byte(nil), seed...)
+		mut[off] ^= 0x41
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, validEnd, err := Decode(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.Is(err, ErrCorrupt) || !errors.As(err, &ce) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		if validEnd < 0 || validEnd > len(data) {
+			t.Fatalf("validEnd %d outside [0,%d]", validEnd, len(data))
+		}
+		if st.Entries < 0 || st.TransitionsAfterSnapshot < 0 {
+			t.Fatalf("negative counters: %+v", st)
+		}
+		// The reported valid prefix must itself decode cleanly to the
+		// same state — otherwise Open's truncate-and-resume would change
+		// what a later replay sees (silent state corruption).
+		st2, validEnd2, err2 := Decode(data[:validEnd])
+		if err2 != nil {
+			t.Fatalf("valid prefix failed to re-decode: %v", err2)
+		}
+		if validEnd2 != validEnd && !(validEnd == 0 && len(data) > 0) {
+			t.Fatalf("prefix re-decode moved validEnd %d -> %d", validEnd, validEnd2)
+		}
+		if st2.Entries != st.Entries || st2.Phase != st.Phase ||
+			st2.LastCause != st.LastCause ||
+			st2.TransitionsAfterSnapshot != st.TransitionsAfterSnapshot ||
+			len(st2.Releases) != len(st.Releases) {
+			t.Fatalf("prefix re-decode diverged:\n%+v\n%+v", st2, st)
+		}
+	})
+}

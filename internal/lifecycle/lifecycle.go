@@ -214,6 +214,10 @@ const (
 	// CauseTopology: a release-set change forced the phase (removing
 	// below two releases collapses the multi-release phases to NewOnly).
 	CauseTopology
+	// CauseRecovery: a restarted mediator restored the phase from its
+	// campaign journal (the restart is itself an observable, journaled
+	// event, so an audit trail never has an unexplained phase jump).
+	CauseRecovery
 )
 
 // String implements fmt.Stringer.
@@ -225,6 +229,8 @@ func (c Cause) String() string {
 		return "policy"
 	case CauseTopology:
 		return "topology"
+	case CauseRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Cause(%d)", int(c))
 	}
@@ -265,13 +271,23 @@ func (h *Hooks) Add(fn func(Transition)) {
 }
 
 // Fire delivers a transition to every observer in registration order.
+// A panicking observer is contained: the panic is swallowed and the
+// remaining observers still run, so a buggy subscriber (a journal
+// writer, an SSE publisher) can neither wedge the phase transition that
+// already happened nor starve observers registered after it.
 func (h *Hooks) Fire(t Transition) {
 	h.mu.Lock()
 	fns := h.fns
 	h.mu.Unlock()
 	for _, fn := range fns {
-		fn(t)
+		fireOne(fn, t)
 	}
+}
+
+// fireOne isolates one observer call so its panic cannot propagate.
+func fireOne(fn func(Transition), t Transition) {
+	defer func() { _ = recover() }()
+	fn(t)
 }
 
 // ---------------------------------------------------------------------------

@@ -140,6 +140,7 @@ var scenarios = map[string]scenarioFunc{
 	"corrupt-never-wins":   corruptNeverWins,
 	"omission-convergence": omissionConvergence,
 	"crash-restart":        crashRestart,
+	"crash-recovery":       crashRecovery,
 	"mixed-fault":          mixedFault,
 	"saturation":           saturation,
 	"soak":                 soak,

@@ -14,7 +14,7 @@ import (
 
 func TestScenarioRegistry(t *testing.T) {
 	names := Scenarios()
-	want := []string{"corrupt-never-wins", "crash-restart", "mixed-fault", "omission-convergence", "saturation", "soak"}
+	want := []string{"corrupt-never-wins", "crash-recovery", "crash-restart", "mixed-fault", "omission-convergence", "saturation", "soak"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Scenarios() = %v, want %v (sorted)", names, want)
 	}

@@ -1,0 +1,172 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"wsupgrade/internal/bayes"
+	"wsupgrade/internal/stats"
+)
+
+// ErrBadCampaignState reports a campaign-state snapshot the monitor
+// refuses to restore (the journal it came from may be corrupt).
+var ErrBadCampaignState = fmt.Errorf("monitor: bad campaign state")
+
+// ReleaseCampaignStats is one release's aggregate counters in exported,
+// serializable form — the per-release slice of a CampaignState.
+type ReleaseCampaignStats struct {
+	Release        string             `json:"release"`
+	Demands        int                `json:"demands"`
+	Responses      int                `json:"responses"`
+	Evident        int                `json:"evident"`
+	JudgedFailures int                `json:"judged_failures"`
+	Overflow       int                `json:"overflow"`
+	Latency        stats.SummaryState `json:"latency"`
+}
+
+// CampaignState is the serializable aggregation state of a campaign:
+// everything the Bayesian confidence engine and the status surfaces need
+// to resume after a mediator restart. It deliberately excludes the
+// event-log ring (diagnostic, bounded, rebuilt from live traffic) and
+// the 2048-bin latency histograms (cheap to regrow; a restored campaign
+// under-resolves SlowResponses for the pre-crash prefix — see Restore).
+type CampaignState struct {
+	Joint    bayes.JointCounts            `json:"joint"`
+	PerOp    map[string]bayes.JointCounts `json:"per_op,omitempty"`
+	Releases []ReleaseCampaignStats       `json:"releases,omitempty"`
+}
+
+// CampaignState snapshots the monitor's aggregation state. The snapshot
+// is assembled shard by shard; a concurrent Note may or may not be
+// included, exactly like every other read-side aggregation here.
+func (m *Monitor) CampaignState() CampaignState {
+	st := CampaignState{}
+	t := m.intern.Load()
+	var names []string
+	if t != nil {
+		names = t.names
+	}
+	merged := make([]*releaseAgg, len(names))
+	perOp := make(map[string]bayes.JointCounts)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st.Joint.Merge(sh.joint)
+		for op, jc := range sh.perOp {
+			total := perOp[op]
+			total.Merge(jc)
+			perOp[op] = total
+		}
+		for idx, agg := range sh.aggs {
+			if agg == nil || idx >= len(merged) {
+				continue
+			}
+			if merged[idx] == nil {
+				merged[idx] = newReleaseAgg()
+			}
+			merged[idx].merge(agg)
+		}
+		sh.mu.Unlock()
+	}
+	if len(perOp) > 0 {
+		st.PerOp = perOp
+	}
+	for idx, agg := range merged {
+		if agg == nil {
+			continue
+		}
+		st.Releases = append(st.Releases, ReleaseCampaignStats{
+			Release:        names[idx],
+			Demands:        agg.demands,
+			Responses:      agg.responses,
+			Evident:        agg.evident,
+			JudgedFailures: agg.judgedFailed,
+			Overflow:       agg.overflow,
+			Latency:        agg.latency.State(),
+		})
+	}
+	// Deterministic order so identical states serialize identically.
+	sort.Slice(st.Releases, func(i, j int) bool {
+		return st.Releases[i].Release < st.Releases[j].Release
+	})
+	return st
+}
+
+// Restore merges a previously snapshotted campaign state into the
+// monitor, seeding the joint record, the per-operation records, and the
+// per-release counters so that Joint/JointFor/Stats report the restored
+// history plus anything observed since. Latency summaries are restored
+// exactly (mean/variance/extrema); the latency histograms are not part
+// of the snapshot, so SlowResponses resolves only post-restore traffic —
+// the restored prefix contributes its no-response demands (which need no
+// histogram) but its over-threshold responses are not re-counted. The
+// snapshot is validated before any state is touched: a corrupt snapshot
+// leaves the monitor unchanged.
+func (m *Monitor) Restore(st CampaignState) error {
+	if err := validateCampaignState(st); err != nil {
+		return err
+	}
+	restored := make([]stats.Summary, len(st.Releases))
+	for i, rs := range st.Releases {
+		sum, err := stats.RestoreSummary(rs.Latency)
+		if err != nil {
+			return fmt.Errorf("%w: release %q: %v", ErrBadCampaignState, rs.Release, err)
+		}
+		restored[i] = sum
+	}
+	// Everything lands in shard 0: restore is a one-time management
+	// operation, not a hot path, and read-side aggregation makes the
+	// placement invisible.
+	sh := m.shards[0]
+	for i, rs := range st.Releases {
+		id := m.Intern(rs.Release)
+		sh.mu.Lock()
+		agg := sh.agg(id)
+		agg.demands += rs.Demands
+		agg.responses += rs.Responses
+		agg.evident += rs.Evident
+		agg.judgedFailed += rs.JudgedFailures
+		agg.overflow += rs.Overflow
+		agg.latency.Merge(restored[i])
+		sh.mu.Unlock()
+	}
+	sh.mu.Lock()
+	sh.joint.Merge(st.Joint)
+	for op, jc := range st.PerOp {
+		total := sh.perOp[op]
+		total.Merge(jc)
+		sh.perOp[op] = total
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// validateCampaignState rejects snapshots whose counters cannot have
+// come from a real campaign.
+func validateCampaignState(st CampaignState) error {
+	check := func(name string, jc bayes.JointCounts) error {
+		if jc.N < 0 || jc.Both < 0 || jc.AOnly < 0 || jc.BOnly < 0 ||
+			jc.Both+jc.AOnly+jc.BOnly > jc.N {
+			return fmt.Errorf("%w: %s joint counts %+v", ErrBadCampaignState, name, jc)
+		}
+		return nil
+	}
+	if err := check("total", st.Joint); err != nil {
+		return err
+	}
+	for op, jc := range st.PerOp {
+		if err := check("operation "+op, jc); err != nil {
+			return err
+		}
+	}
+	for _, rs := range st.Releases {
+		if rs.Release == "" {
+			return fmt.Errorf("%w: release with empty name", ErrBadCampaignState)
+		}
+		if rs.Demands < 0 || rs.Responses < 0 || rs.Evident < 0 ||
+			rs.JudgedFailures < 0 || rs.Overflow < 0 ||
+			rs.Responses > rs.Demands || rs.Latency.N != rs.Responses {
+			return fmt.Errorf("%w: release %q counters %+v", ErrBadCampaignState, rs.Release, rs)
+		}
+	}
+	return nil
+}

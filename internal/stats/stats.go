@@ -331,6 +331,43 @@ func (s *Summary) Merge(o Summary) {
 	}
 }
 
+// SummaryState is the exported form of a Summary for serialization
+// (the campaign journal snapshots per-release latency summaries with
+// it). The fields are exactly Welford's accumulator state, so
+// State → RestoreSummary round-trips losslessly.
+type SummaryState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator state for serialization.
+func (s *Summary) State() SummaryState {
+	return SummaryState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// RestoreSummary rebuilds a Summary from exported state. Invalid state
+// (negative count, negative squared-deviation mass, non-finite moments,
+// inverted extrema) is rejected rather than silently accepted, because
+// the journal replaying it may have been corrupted on disk.
+func RestoreSummary(st SummaryState) (Summary, error) {
+	if st.N < 0 || st.M2 < 0 ||
+		math.IsNaN(st.Mean) || math.IsInf(st.Mean, 0) ||
+		math.IsNaN(st.M2) || math.IsInf(st.M2, 0) ||
+		math.IsNaN(st.Min) || math.IsNaN(st.Max) {
+		return Summary{}, fmt.Errorf("%w: RestoreSummary%+v", ErrInvalidParam, st)
+	}
+	if st.N == 0 {
+		return Summary{}, nil
+	}
+	if st.Min > st.Max {
+		return Summary{}, fmt.Errorf("%w: RestoreSummary min %v > max %v", ErrInvalidParam, st.Min, st.Max)
+	}
+	return Summary{n: st.N, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max, hasExtrema: true}, nil
+}
+
 // N returns the number of observations.
 func (s *Summary) N() int { return s.n }
 

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryStateRoundTrip(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2.5, 6} {
+		s.Observe(v)
+	}
+	got, err := RestoreSummary(s.State())
+	if err != nil {
+		t.Fatalf("RestoreSummary: %v", err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed state: got %+v want %+v", got, s)
+	}
+	// The restored summary must keep accumulating identically.
+	s.Observe(7)
+	got.Observe(7)
+	if got != s {
+		t.Fatalf("post-restore Observe diverged: got %+v want %+v", got, s)
+	}
+}
+
+func TestSummaryStateEmptyRoundTrip(t *testing.T) {
+	var s Summary
+	got, err := RestoreSummary(s.State())
+	if err != nil {
+		t.Fatalf("RestoreSummary(empty): %v", err)
+	}
+	if got != (Summary{}) {
+		t.Fatalf("empty round trip: got %+v", got)
+	}
+	// An empty restored summary must record its first extrema correctly
+	// (hasExtrema must not have been restored as true).
+	got.Observe(-5)
+	if got.Min() != -5 || got.Max() != -5 {
+		t.Fatalf("first observation after empty restore: min=%v max=%v", got.Min(), got.Max())
+	}
+}
+
+func TestSummaryStateMergeAfterRestore(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i) * 1.5)
+	}
+	ra, err := RestoreSummary(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Merge(b)
+	a.Merge(b)
+	if ra != a {
+		t.Fatalf("Merge after restore diverged: got %+v want %+v", ra, a)
+	}
+}
+
+func TestRestoreSummaryRejectsInvalid(t *testing.T) {
+	cases := []SummaryState{
+		{N: -1},
+		{N: 3, M2: -0.5},
+		{N: 3, Mean: math.NaN()},
+		{N: 3, Mean: math.Inf(1)},
+		{N: 3, M2: math.NaN()},
+		{N: 2, Min: 5, Max: 1},
+		{N: 1, Min: math.NaN(), Max: math.NaN()},
+	}
+	for _, st := range cases {
+		if _, err := RestoreSummary(st); err == nil {
+			t.Errorf("RestoreSummary(%+v) accepted invalid state", st)
+		}
+	}
+}
