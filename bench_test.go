@@ -25,6 +25,7 @@ import (
 	"wsupgrade/internal/journal"
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/protocol/jsoncodec"
 	"wsupgrade/internal/relmodel"
 	"wsupgrade/internal/repro"
 	"wsupgrade/internal/service"
@@ -575,9 +576,16 @@ func newInProcessDriver(b *testing.B, payload interface{}, path string) *inProce
 	if err != nil {
 		b.Fatal(err)
 	}
-	d := &inProcessDriver{env: env, body: &resetBody{}, rec: newBenchRecorder()}
+	return newRawInProcessDriver(env, path, soap.ContentType)
+}
+
+// newRawInProcessDriver builds a driver from raw request bytes — the
+// codec-agnostic core of newInProcessDriver, used directly by the JSON
+// gateway benchmarks.
+func newRawInProcessDriver(body []byte, path, contentType string) *inProcessDriver {
+	d := &inProcessDriver{env: body, body: &resetBody{}, rec: newBenchRecorder()}
 	d.req = httptest.NewRequest(http.MethodPost, path, nil)
-	d.req.Header.Set("Content-Type", soap.ContentType)
+	d.req.Header.Set("Content-Type", contentType)
 	d.req.Body = d.body
 	return d
 }
@@ -639,6 +647,43 @@ func BenchmarkEngineInProcess(b *testing.B) {
 	// fails the bench gate. The snapshot interval is a realistic 1s —
 	// far longer than a 1000x run, so the loop stays parked and the
 	// measurement isolates the attachment cost itself.
+	// The REST/JSON gateway over the same dispatch core: canned
+	// {"sum":3} replies over the wire transport, demands routed by URL
+	// path. The protocol seam must not cost the hot path anything — the
+	// baseline gates this at exactly 0 allocs/op, same as the SOAP
+	// fast path.
+	b.Run("json-fastpath", func(b *testing.B) {
+		jsonBody := []byte(`{"sum":3}`)
+		head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+			len(jsonBody))
+		stub := &wireStub{resp: append([]byte(head), jsonBody...)}
+		eps := []Endpoint{
+			{Version: "1.0", URL: "http://release-0.invalid"},
+			{Version: "1.1", URL: "http://release-1.invalid"},
+		}
+		engine, err := NewEngine(EngineConfig{
+			Releases:     eps,
+			Mode:         ModeReliability,
+			InitialPhase: PhaseOldOnly,
+			Codec:        jsoncodec.Default,
+			Monitor:      NewMonitor(monitor.WithLogCapacity(benchLogCapacity)),
+			Dial:         stub.dial,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = engine.Close() })
+		d := newRawInProcessDriver([]byte(`{"a":2,"b":1}`), "/add", "application/json")
+		for i := 0; i < benchLogCapacity+64; i++ {
+			d.do(b, engine)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.do(b, engine)
+		}
+	})
+
 	b.Run("old-only-fastpath-journaled", func(b *testing.B) {
 		engine := newInProcessEngine(b, 2, ModeReliability, 0, PhaseOldOnly, viaWire)
 		w, _, err := journal.Open(filepath.Join(b.TempDir(), "bench.journal"))

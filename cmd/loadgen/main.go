@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var urls urlList
 	fs.Var(&urls, "url", "target endpoint (repeatable; workers round-robin)")
 	operation := fs.String("op", "add", "demo operation to drive: add or operation1")
+	protocol := fs.String("protocol", "soap", "gateway wire protocol: soap or json")
 	mode := fs.String("mode", "closed", "drive mode: closed or open")
 	concurrency := fs.Int("c", 0, "workers (closed) / max in-flight (open); 0 = default")
 	rps := fs.Float64("rps", 0, "open-loop target arrival rate")
@@ -124,6 +125,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	rep, err := loadgen.Run(ctx, loadgen.Options{
 		URLs:        urls,
 		Operation:   *operation,
+		Protocol:    *protocol,
 		OpenLoop:    *mode == "open",
 		Concurrency: *concurrency,
 		RPS:         *rps,

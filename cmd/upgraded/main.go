@@ -67,6 +67,7 @@ import (
 	"wsupgrade/internal/journal"
 	"wsupgrade/internal/lifecycle"
 	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/protocol/jsoncodec"
 	"wsupgrade/internal/service"
 	"wsupgrade/internal/stats"
 )
@@ -108,6 +109,11 @@ type unitParams struct {
 	PfdUpper   float64
 	Oracle     string
 	LogPath    string
+	// Protocol is the unit's wire protocol: "soap" (default) or
+	// "json". A JSON unit skips the SOAP-only §6.2 confidence
+	// operations and the /wsdl contract; confidence publishes over the
+	// X-Wsupgrade-Confidence HTTP header instead.
+	Protocol string
 	// UseNetHTTP forces the net/http release transport instead of the
 	// default wire client (TLS, proxies, exotic deployments).
 	UseNetHTTP bool
@@ -141,13 +147,23 @@ func engineConfig(p unitParams) (core.Config, io.Closer, error) {
 		cfg.Mode = mode
 	}
 
+	jsonUnit := false
+	switch p.Protocol {
+	case "", "soap":
+	case "json":
+		jsonUnit = true
+		cfg.Codec = jsoncodec.Default
+	default:
+		return cfg, nil, fmt.Errorf("unknown protocol %q", p.Protocol)
+	}
+
 	switch p.Oracle {
 	case "fault-only":
 		cfg.Oracle = oracle.FaultOnly{}
 	case "reference", "":
-		cfg.Oracle = oracle.Reference{Release: p.Releases[0].Version}
+		cfg.Oracle = oracle.Reference{Release: p.Releases[0].Version, Codec: cfg.Codec}
 	case "back-to-back":
-		cfg.Oracle = oracle.BackToBack{}
+		cfg.Oracle = oracle.BackToBack{Codec: cfg.Codec}
 	default:
 		return cfg, nil, fmt.Errorf("unknown oracle %q", p.Oracle)
 	}
@@ -162,10 +178,15 @@ func engineConfig(p unitParams) (core.Config, io.Closer, error) {
 		GridA: 60, GridB: 60, GridC: 16, GridAB: 80,
 	}
 	cfg.ConfidenceTarget = p.Target
-	cfg.EnableConfOps = true
 	cfg.PublishHeader = true
-	contract := service.DemoContract(p.Releases[len(p.Releases)-1].Version)
-	cfg.Contract = &contract
+	if !jsonUnit {
+		// The §6.2 confidence operations and the /wsdl contract are
+		// SOAP-native; a JSON unit publishes confidence over the
+		// X-Wsupgrade-Confidence HTTP header alone.
+		cfg.EnableConfOps = true
+		contract := service.DemoContract(p.Releases[len(p.Releases)-1].Version)
+		cfg.Contract = &contract
+	}
 
 	if p.Criterion != 0 {
 		confidence := p.Confidence
@@ -229,6 +250,7 @@ type fleetUnit struct {
 	CheckEvery int             `json:"checkEvery,omitempty"`
 	PfdUpper   float64         `json:"pfdUpper,omitempty"`
 	Oracle     string          `json:"oracle,omitempty"`
+	Protocol   string          `json:"protocol,omitempty"`
 	Log        string          `json:"log,omitempty"`
 	UseNetHTTP bool            `json:"useNetHTTP,omitempty"`
 }
@@ -271,6 +293,7 @@ func loadFleetConfig(path string, defaultTarget float64, netHTTP bool) (fleet.Co
 			CheckEvery: u.CheckEvery,
 			PfdUpper:   u.PfdUpper,
 			Oracle:     u.Oracle,
+			Protocol:   u.Protocol,
 			LogPath:    u.Log,
 			UseNetHTTP: u.UseNetHTTP || netHTTP,
 		})
@@ -282,10 +305,11 @@ func loadFleetConfig(path string, defaultTarget float64, netHTTP bool) (fleet.Co
 			closers = append(closers, closer)
 		}
 		cfg.Units = append(cfg.Units, fleet.UnitConfig{
-			Name:    u.Name,
-			Hosts:   u.Hosts,
-			Service: u.Service,
-			Engine:  ecfg,
+			Name:     u.Name,
+			Hosts:    u.Hosts,
+			Service:  u.Service,
+			Protocol: u.Protocol,
+			Engine:   ecfg,
 		})
 	}
 	return cfg, closers, nil
@@ -351,6 +375,7 @@ func run(ctx context.Context, args []string) error {
 		pfdUpper   = fs.Float64("pfd-upper", 0.1, "prior pfd support upper bound")
 		logPath    = fs.String("log", "", "JSONL event log path (empty = no log)")
 		oracleName = fs.String("oracle", "reference", "failure oracle: fault-only|reference|back-to-back")
+		protoName  = fs.String("protocol", "soap", "wire protocol of the mediated unit: soap|json")
 		adminToken = fs.String("admin-token", "", "fleet mode: token guarding the /fleet/ admin API (overrides the config's adminToken)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		netHTTP    = fs.Bool("net-http", false, "use the net/http release transport instead of the default wire client (TLS, proxies)")
@@ -406,6 +431,7 @@ func run(ctx context.Context, args []string) error {
 			CheckEvery: *checkEvery,
 			PfdUpper:   *pfdUpper,
 			Oracle:     *oracleName,
+			Protocol:   *protoName,
 			LogPath:    *logPath,
 			UseNetHTTP: *netHTTP,
 		})

@@ -49,6 +49,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,8 +63,9 @@ import (
 	"wsupgrade/internal/monitor"
 	"wsupgrade/internal/oracle"
 	"wsupgrade/internal/pool"
+	"wsupgrade/internal/protocol"
+	"wsupgrade/internal/protocol/soapcodec"
 	"wsupgrade/internal/registry"
-	"wsupgrade/internal/soap"
 	"wsupgrade/internal/stats"
 	"wsupgrade/internal/wire"
 	"wsupgrade/internal/wsdl"
@@ -131,6 +133,13 @@ type Config struct {
 	// Oracle judges response correctness for monitoring (default
 	// oracle.FaultOnly: evident failures only).
 	Oracle oracle.Oracle
+	// Codec selects the unit's wire protocol (the protocol seam —
+	// soapcodec.Default, jsoncodec.Default, ...); nil means SOAP. The
+	// §6.2 confidence operations (EnableConfOps) need a codec
+	// implementing protocol.ConfOps; units whose codec has no native
+	// header representation publish PublishHeader confidence via the
+	// ConfidenceHeader HTTP header instead.
+	Codec protocol.Codec
 	// InitialPhase is the starting lifecycle state (default
 	// PhaseParallel; PhaseOldOnly and PhaseObservation need ≥2
 	// releases).
@@ -269,6 +278,19 @@ type Engine struct {
 	inference *bayes.WhiteBox
 	disp      *dispatch.Dispatcher
 
+	// codec is the unit's wire protocol; the derived fields are
+	// precomputed at New so the request path never rebuilds them:
+	// confOps is the codec's §6.2 extension (nil when it has none),
+	// confQueryElement the wire element selecting the dedicated
+	// confidence query, ctHeader the shared Content-Type header value
+	// slice, and postOnlyMsg/badTypeMsg the gateway rejection texts.
+	codec            protocol.Codec
+	confOps          protocol.ConfOps
+	confQueryElement string
+	ctHeader         []string
+	postOnlyMsg      string
+	badTypeMsg       string
+
 	// contractOps is the set of operation names in cfg.Contract (nil
 	// when no contract is configured). It guards §6.2 "<op>Conf" variant
 	// routing: a genuine contract operation whose name happens to end in
@@ -367,6 +389,21 @@ func New(cfg Config) (*Engine, error) {
 		adjudic: cfg.Adjudicator,
 		oracle:  cfg.Oracle,
 	}
+	codec := cfg.Codec
+	if codec == nil {
+		codec = soapcodec.Default
+	}
+	e.codec = codec
+	e.ctHeader = []string{codec.ContentType()}
+	e.postOnlyMsg = codec.Name() + " endpoint: POST only"
+	e.badTypeMsg = codec.Name() + " endpoint: unsupported content type"
+	if co, ok := codec.(protocol.ConfOps); ok {
+		e.confOps = co
+		e.confQueryElement = co.ConfQueryElement()
+	}
+	if cfg.EnableConfOps && e.confOps == nil {
+		return nil, fmt.Errorf("%w: codec %q has no confidence-operation support (EnableConfOps)", ErrBadConfig, codec.Name())
+	}
 	// The monitor exists before the first state publication: every
 	// published state carries its releases' interned monitor indices.
 	if cfg.Monitor != nil {
@@ -432,6 +469,7 @@ func New(cfg Config) (*Engine, error) {
 		Retry:     cfg.Retry,
 		Seed:      cfg.Seed,
 		OnOutcome: e.recordOutcome,
+		Codec:     codec,
 	})
 	if cfg.Contract != nil {
 		e.contractOps = make(map[string]bool, len(cfg.Contract.Operations))
@@ -822,70 +860,58 @@ func requestScheme(r *http.Request) string {
 // ignored in favour of the engine default.
 const AdjudicatorHeader = "X-Wsupgrade-Adjudicator"
 
+// ConfidenceHeader carries the published confidence (§6.2) on
+// responses of units whose codec has no native header representation
+// (the SOAP codec publishes a conf:Confidence SOAP header instead).
+const ConfidenceHeader = "X-Wsupgrade-Confidence"
+
 // maxRequestBytes bounds consumer request bodies (matches the SOAP
 // message limit and the release-response cap).
 const maxRequestBytes = 10 << 20
 
-// ServeHTTP intercepts one consumer request. The hot path routes on a
-// zero-copy sniff of the envelope (which validates the whole structural
-// tag tree); the full DOM parse runs only for unusual or malformed
-// envelopes and the §6.2 confidence operations (which need the decoded
-// body). The residual gap: a message with content-level malformation
-// only a DOM parse detects (entities, attribute syntax) can sniff clean
-// and be rejected by the releases instead of locally; those faults reach
-// the consumer as faults — the same monitoring exposure an unknown
+// ServeHTTP intercepts one consumer request. The codec classifies the
+// demand on its own hot path — the SOAP codec's zero-copy envelope
+// sniff (which validates the whole structural tag tree, falling back
+// to a DOM parse for unusual envelopes), the JSON codec's URL-path
+// route. The residual gap is the codec's: a message with content-level
+// malformation only a full parse detects can classify clean and be
+// rejected by the releases instead of locally; those faults reach the
+// consumer as faults — the same monitoring exposure an unknown
 // operation name has always had.
 func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
+		e.codec.WriteRejection(w, http.StatusMethodNotAllowed, e.postOnlyMsg)
+		return
+	}
+	// A Content-Type that contradicts the unit's protocol is rejected
+	// before the body is read: a SOAP envelope posted to a JSON unit
+	// (or vice versa) is a routing mistake, not a malformed demand, and
+	// 415 says so where a decode fault would mislead.
+	if ct := r.Header.Get("Content-Type"); !e.codec.Accepts(ct) {
+		e.codec.WriteRejection(w, http.StatusUnsupportedMediaType, e.badTypeMsg)
 		return
 	}
 	envBuf, err := httpx.ReadBoundedBuf(r.Body, maxRequestBytes)
 	if err != nil {
 		envBuf.Release() // nil on error; Release is nil-safe
-		e.writeFault(w, soap.ClientFault(fmt.Sprintf("reading request: %v", err)), "")
+		e.codec.WriteError(w, "", protocol.ClientError(fmt.Sprintf("reading request: %v", err)))
 		return
 	}
-	data := envBuf.B
-	opElement, sniffed := soap.SniffOperation(data)
-	var parsed *soap.Parsed
-	if !sniffed {
-		if parsed, err = soap.Parse(data); err != nil {
-			envBuf.Release()
-			e.writeFault(w, soap.ClientFault(err.Error()), "")
-			return
-		}
-		opElement = parsed.Operation.Local
+	req, err := e.codec.DecodeRequest(r.URL.Path, envBuf.B)
+	if err != nil {
+		envBuf.Release()
+		e.codec.WriteError(w, "", err)
+		return
 	}
-	operation := strings.TrimSuffix(opElement, "Request")
+	operation := req.Op
 
 	if e.cfg.EnableConfOps {
-		parse := func() *soap.Parsed {
-			if parsed == nil {
-				parsed, err = soap.Parse(data)
-			}
-			return parsed
-		}
-		if opElement == wsdl.ConfOperationName+"Request" {
-			if parse() == nil {
-				envBuf.Release()
-				e.writeFault(w, soap.ClientFault(err.Error()), "")
-				return
-			}
-			// The DOM parse copied everything it needs out of the raw
-			// envelope; the confidence paths run off parsed alone.
-			envBuf.Release()
-			e.serveConfidenceQuery(w, parsed)
+		if req.Element == e.confQueryElement {
+			e.serveConfidenceQuery(w, envBuf)
 			return
 		}
 		if base, ok := e.confVariantBase(operation); ok {
-			if parse() == nil {
-				envBuf.Release()
-				e.writeFault(w, soap.ClientFault(err.Error()), "")
-				return
-			}
-			envBuf.Release()
-			e.serveConfVariant(w, r, parsed, base)
+			e.serveConfVariant(w, r, envBuf, base)
 			return
 		}
 	}
@@ -952,29 +978,29 @@ func (e *Engine) proxy(w http.ResponseWriter, r *http.Request, envBuf *pool.Buf,
 func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudicate.Reply, adjErr error) {
 	if adjErr != nil {
 		winner.ReleaseBody() // nil-safe: fault outcomes carry no pooled body
-		var f *soap.Fault
-		if !errors.As(adjErr, &f) {
-			switch {
-			case errors.Is(adjErr, adjudicate.ErrNoResponses):
-				f = soap.ServerFault("Web Service unavailable")
-			default:
-				f = soap.ServerFault(adjErr.Error())
-			}
+		if !protocol.IsFault(adjErr) && errors.Is(adjErr, adjudicate.ErrNoResponses) {
+			adjErr = errUnavailable
 		}
-		e.writeFault(w, f, operation)
+		e.codec.WriteError(w, operation, adjErr)
 		return
 	}
-	var headers []soap.HeaderItem
+	h := w.Header()
+	var headers []protocol.HeaderItem
 	if e.cfg.PublishHeader {
 		if conf, err := e.publishedConfidence(operation); err == nil {
-			headers = append(headers, confidenceHeader(operation, conf))
+			if e.confOps != nil {
+				headers = append(headers, e.confOps.ConfidenceHeader(operation, conf))
+			} else {
+				// No native header representation (JSON): publish over
+				// a plain HTTP header instead.
+				h.Set(ConfidenceHeader, strconv.FormatFloat(conf, 'f', 6, 64))
+			}
 		}
 	}
 	// Both headers are assigned as precomputed shared value slices (keys
 	// in canonical form) instead of Header.Set, which allocates a fresh
 	// []string per call.
-	h := w.Header()
-	h["Content-Type"] = soapContentType
+	h["Content-Type"] = e.ctHeader
 	if winner.Release != "" {
 		if v, ok := e.state.Load().winnerHdr[winner.Release]; ok {
 			h["X-Wsupgrade-Winner"] = v
@@ -983,19 +1009,13 @@ func (e *Engine) respond(w http.ResponseWriter, operation string, winner adjudic
 		}
 	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = soap.WriteEnvelopeRaw(w, winner.Body, headers...)
+	_, _ = e.codec.WriteBody(w, winner.Body, headers...)
 	winner.ReleaseBody()
 }
 
-// soapContentType is the shared Content-Type header value; response
-// writers must not mutate it.
-var soapContentType = []string{soap.ContentType}
-
-func (e *Engine) writeFault(w http.ResponseWriter, f *soap.Fault, operation string) {
-	w.Header()["Content-Type"] = soapContentType
-	w.WriteHeader(http.StatusInternalServerError)
-	_, _ = w.Write(soap.FaultEnvelope(f))
-}
+// errUnavailable is the consumer-facing outcome when no release
+// produced anything deliverable (the paper's unavailability case).
+var errUnavailable = protocol.ServerError("Web Service unavailable")
 
 // dispatch selects the phase's targets and delivery authority and hands
 // the fan-out to the dispatch layer. The dispatch deadline derives from
@@ -1279,55 +1299,50 @@ func (e *Engine) publishedConfidence(operation string) (float64, error) {
 	return rep.Published, nil
 }
 
-func confidenceHeader(operation string, value float64) soap.HeaderItem {
-	return soap.HeaderItem(fmt.Sprintf(
-		`<conf:Confidence xmlns:conf=%q operation=%q value="%.6f"/>`,
-		wsdl.UpgradeNS, operation, value))
-}
-
-// operationConfRequest is §6.2 option 2's request payload.
-type operationConfRequest struct {
-	Operation string `xml:"operation"`
-}
-
-type operationConfResponse struct {
-	XMLName    struct{} `xml:"OperationConfResponse"`
-	Confidence float64  `xml:"confidence"`
-}
-
-// serveConfidenceQuery answers the dedicated OperationConf operation.
-func (e *Engine) serveConfidenceQuery(w http.ResponseWriter, parsed *soap.Parsed) {
-	var req operationConfRequest
-	if err := parsed.DecodeBody(&req); err != nil {
-		e.writeFault(w, soap.ClientFault(err.Error()), wsdl.ConfOperationName)
-		return
-	}
-	conf, err := e.publishedConfidence(req.Operation)
+// serveConfidenceQuery answers the dedicated OperationConf operation
+// (§6.2 option 2). It takes ownership of envBuf, the pooled request
+// body, releasing it once the codec has decoded the queried operation.
+//
+//wsu:owns envBuf
+func (e *Engine) serveConfidenceQuery(w http.ResponseWriter, envBuf *pool.Buf) {
+	op, err := e.confOps.DecodeConfQuery(envBuf.B)
+	envBuf.Release()
 	if err != nil {
-		e.writeFault(w, soap.ServerFault(err.Error()), wsdl.ConfOperationName)
+		e.codec.WriteError(w, wsdl.ConfOperationName, err)
 		return
 	}
-	body, err := soap.Envelope(operationConfResponse{Confidence: conf})
+	conf, err := e.publishedConfidence(op)
 	if err != nil {
-		e.writeFault(w, soap.ServerFault(err.Error()), wsdl.ConfOperationName)
+		e.codec.WriteError(w, wsdl.ConfOperationName, err)
 		return
 	}
-	w.Header().Set("Content-Type", soap.ContentType)
+	body, err := e.confOps.EncodeConfResponse(conf)
+	if err != nil {
+		e.codec.WriteError(w, wsdl.ConfOperationName, err)
+		return
+	}
+	w.Header()["Content-Type"] = e.ctHeader
 	_, _ = w.Write(body)
 }
 
 // serveConfVariant answers an "<op>Conf" call (§6.2 option 3): it invokes
 // the underlying operation through the normal managed path and extends
-// the response with the confidence element.
-func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, parsed *soap.Parsed, baseOp string) {
-	renamed, err := soap.RenameRoot(parsed.BodyXML, baseOp+"Request")
+// the response with the confidence element. It takes ownership of
+// rawBuf, the pooled buffer holding the variant request as received;
+// the rewritten envelope is copied into a fresh pooled buffer that
+// rides the same dispatch path as directly proxied demands.
+//
+//wsu:owns rawBuf
+func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, rawBuf *pool.Buf, baseOp string) {
+	rewritten, err := e.confOps.RewriteConfVariant(rawBuf.B, baseOp)
+	rawBuf.Release()
 	if err != nil {
-		e.writeFault(w, soap.ClientFault(err.Error()), baseOp)
+		e.codec.WriteError(w, baseOp, err)
 		return
 	}
 	override, _ := headerAdjudicator(r)
 	envBuf := confEnvBufs.Get()
-	envBuf.B = append(envBuf.B[:0], soap.EnvelopeRaw(renamed)...)
+	envBuf.B = append(envBuf.B[:0], rewritten...)
 	winner, adjErr := e.dispatch(r.Context(), envBuf, baseOp, override)
 	if adjErr != nil {
 		e.respond(w, baseOp, winner, adjErr)
@@ -1336,25 +1351,18 @@ func (e *Engine) serveConfVariant(w http.ResponseWriter, r *http.Request, parsed
 	conf, err := e.publishedConfidence(baseOp)
 	if err != nil {
 		winner.ReleaseBody()
-		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
+		e.codec.WriteError(w, baseOp, err)
 		return
 	}
-	extended, err := soap.InjectElement(winner.Body,
-		[]byte(fmt.Sprintf("<%sConf>%.6f</%sConf>", baseOp, conf, baseOp)))
+	extended, err := e.confOps.ExtendConfVariant(winner.Body, baseOp, conf)
 	if err != nil {
 		winner.ReleaseBody()
-		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
-		return
-	}
-	renamedResp, err := soap.RenameRoot(extended, baseOp+"ConfResponse")
-	if err != nil {
-		winner.ReleaseBody()
-		e.writeFault(w, soap.ServerFault(err.Error()), baseOp)
+		e.codec.WriteError(w, baseOp, err)
 		return
 	}
 	// The winner's Buf still carries the pooled original body; respond
 	// discharges it after the transformed body is written.
-	winner.Body = renamedResp
+	winner.Body = extended
 	e.respond(w, baseOp, winner, nil)
 }
 

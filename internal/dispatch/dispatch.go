@@ -31,7 +31,8 @@ import (
 	"wsupgrade/internal/adjudicate"
 	"wsupgrade/internal/httpx"
 	"wsupgrade/internal/pool"
-	"wsupgrade/internal/soap"
+	"wsupgrade/internal/protocol"
+	"wsupgrade/internal/protocol/soapcodec"
 	"wsupgrade/internal/xrand"
 )
 
@@ -184,6 +185,9 @@ type Config struct {
 	// modes, on a background collector; it must be safe for concurrent
 	// use and must not retain the pooled Replies slice.
 	OnOutcome func(Outcome)
+	// Codec classifies release replies and resolves per-operation
+	// target URLs (the protocol seam); nil means the SOAP codec.
+	Codec protocol.Codec
 }
 
 // Dispatcher executes fan-outs. Construct with New; Close waits for
@@ -192,6 +196,10 @@ type Dispatcher struct {
 	post      PostFunc
 	retry     httpx.RetryPolicy
 	onOutcome func(Outcome)
+	codec     protocol.Codec
+	// contentType caches codec.ContentType() so the fan-out path does
+	// not re-ask per call.
+	contentType string
 
 	// Adjudication tie-breaking draws from a pool of deterministic
 	// generators: one atomic-free Get per request instead of a
@@ -218,11 +226,17 @@ func New(cfg Config) *Dispatcher {
 	if cfg.Retry.Attempts == 0 {
 		cfg.Retry = httpx.NoRetry
 	}
+	codec := cfg.Codec
+	if codec == nil {
+		codec = soapcodec.Default
+	}
 	return &Dispatcher{
-		post:      post,
-		retry:     cfg.Retry,
-		onOutcome: cfg.OnOutcome,
-		rngMaster: xrand.New(cfg.Seed),
+		post:        post,
+		retry:       cfg.Retry,
+		onOutcome:   cfg.OnOutcome,
+		codec:       codec,
+		contentType: codec.ContentType(),
+		rngMaster:   xrand.New(cfg.Seed),
 	}
 }
 
@@ -506,51 +520,41 @@ func (d *Dispatcher) doSequential(callCtx *callCtx, targets []Endpoint, envelope
 	return winner, err
 }
 
-// callRelease invokes one release and classifies the outcome. A 200
-// response's body is extracted with the zero-copy sniffer; the full
-// parse runs only for unusual envelopes and for fault decoding (the
-// SOAP 1.1 binding carries faults on HTTP 500).
+// callRelease invokes one release and classifies the outcome through
+// the protocol codec: a successful payload, a protocol fault (an
+// evident failure that still counts as a response), or a transport or
+// classification error wrapped with release context.
 //
 // Ownership: the transport's pooled response buffer (Result.BodyBuf)
-// either travels on in Reply.Buf — the sniffed fast path, where
-// Reply.Body aliases it — or is released here, because soap.Parse
-// copies what it extracts and nothing else aliases the wire bytes.
+// either travels on in Reply.Buf — when the codec reports the payload
+// aliases it (the zero-copy fast paths) — or is released here, because
+// a non-aliasing payload is an independent copy and nothing else
+// aliases the wire bytes.
 func (d *Dispatcher) callRelease(ctx context.Context, ep Endpoint, operation string, envelope []byte) adjudicate.Reply {
 	start := time.Now()
 	reply := adjudicate.Reply{Release: ep.Version}
-	res, err := d.post(ctx, ep.URL, soap.ContentType, envelope, d.retry)
+	res, err := d.post(ctx, d.codec.TargetURL(ep.URL, operation), d.contentType, envelope, d.retry)
 	reply.Latency = time.Since(start)
 	if err != nil {
 		reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, err)
 		return reply
 	}
 	reply.Header = res.Header
-	switch res.Status {
-	case http.StatusOK:
-		if inner, _, ok := soap.SniffBody(res.Body); ok {
-			reply.Body = inner
-			reply.Buf = res.BodyBuf
-			return reply
-		}
-		parsed, perr := soap.Parse(res.Body)
+	payload, aliases, derr := d.codec.DecodeReply(res.Status, res.Body)
+	if aliases {
+		reply.Buf = res.BodyBuf
+	} else {
 		res.BodyBuf.Release()
-		if perr != nil {
-			reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, perr)
-			return reply
-		}
-		reply.Body = parsed.BodyXML
-	case http.StatusInternalServerError:
-		parsed, perr := soap.Parse(res.Body)
-		res.BodyBuf.Release()
-		if perr == nil && parsed.Fault != nil {
-			reply.Err = parsed.Fault
-			return reply
-		}
-		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
-	default:
-		res.BodyBuf.Release()
-		reply.Err = fmt.Errorf("dispatch: release %s: HTTP %d", ep.Version, res.Status)
 	}
+	if derr != nil {
+		if protocol.IsFault(derr) {
+			reply.Err = derr
+		} else {
+			reply.Err = fmt.Errorf("dispatch: release %s: %w", ep.Version, derr)
+		}
+		return reply
+	}
+	reply.Body = payload
 	return reply
 }
 
@@ -585,11 +589,12 @@ func putReplySlice(s []adjudicate.Reply) {
 }
 
 // Responded reports whether an exchange produced an application-level
-// response (a SOAP fault counts; a timeout or transport error does not).
+// response (a protocol fault counts; a timeout or transport error does
+// not — the §5.2.1 evident-failure distinction).
 func Responded(r adjudicate.Reply) bool { return responded(r) }
 
 func responded(r adjudicate.Reply) bool {
-	return r.Valid() || soap.IsFault(r.Err)
+	return r.Valid() || protocol.IsFault(r.Err)
 }
 
 func anyValid(replies []adjudicate.Reply) bool {

@@ -30,6 +30,12 @@ type Event struct {
 // non-positive size.
 const DefaultBuffer = 64
 
+// DefaultHistory is how many published events the hub retains for
+// resume (Last-Event-ID replay). The ring is bounded for the same
+// reason subscriber buffers are: observers must never grow the
+// observed system's memory without bound.
+const DefaultHistory = 256
+
 // Subscription is one subscriber's bounded event feed.
 type Subscription struct {
 	// C delivers events. Closed by Hub.Close (never by drops).
@@ -57,14 +63,34 @@ type Hub struct {
 	seq    uint64
 	closed bool
 
+	// ring retains the last len(ring) published events (ring[(ID-1) %
+	// len(ring)]) so a reconnecting subscriber can resume from its
+	// Last-Event-ID instead of re-synchronizing from scratch. Event
+	// payloads are immutable after publish, so retained events alias
+	// the published ones.
+	ring []Event
+
 	// dropsTotal counts events lost across every subscriber (drop
 	// accounting for the admin surface).
 	dropsTotal atomic.Uint64
 }
 
-// NewHub returns an empty hub.
+// NewHub returns an empty hub retaining DefaultHistory events for
+// resume.
 func NewHub() *Hub {
-	return &Hub{subs: make(map[*Subscription]struct{})}
+	return NewHubHistory(DefaultHistory)
+}
+
+// NewHubHistory returns an empty hub retaining up to history published
+// events for Last-Event-ID resume (DefaultHistory when history <= 0).
+func NewHubHistory(history int) *Hub {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	return &Hub{
+		subs: make(map[*Subscription]struct{}),
+		ring: make([]Event, history),
+	}
 }
 
 // Subscribe registers a subscriber with a buffer of size events
@@ -114,6 +140,7 @@ func (h *Hub) Publish(eventType string, payload any) {
 	h.mu.Lock()
 	h.seq++
 	ev := Event{ID: h.seq, Type: eventType, Data: data}
+	h.ring[(ev.ID-1)%uint64(len(h.ring))] = ev
 	for sub := range h.subs {
 		select {
 		case sub.ch <- ev:
@@ -123,6 +150,65 @@ func (h *Hub) Publish(eventType string, payload any) {
 		}
 	}
 	h.mu.Unlock()
+}
+
+// replayLocked collects retained events with ID > lastID in publish
+// order, reporting whether the replay is complete — false when events
+// between lastID and the oldest retained one were evicted from the
+// bounded ring, so the caller knows its view has a gap. Callers hold
+// h.mu.
+func (h *Hub) replayLocked(lastID uint64) ([]Event, bool) {
+	if lastID >= h.seq {
+		return nil, true
+	}
+	retained := h.seq
+	if max := uint64(len(h.ring)); retained > max {
+		retained = max
+	}
+	oldest := h.seq - retained + 1
+	start := lastID + 1
+	complete := start >= oldest
+	if !complete {
+		start = oldest
+	}
+	out := make([]Event, 0, h.seq-start+1)
+	for id := start; id <= h.seq; id++ {
+		out = append(out, h.ring[(id-1)%uint64(len(h.ring))])
+	}
+	return out, complete
+}
+
+// ReplayFrom returns retained events with ID > lastID, and whether the
+// replay is complete (no events between lastID and the first returned
+// were evicted from the bounded history).
+func (h *Hub) ReplayFrom(lastID uint64) ([]Event, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.replayLocked(lastID)
+}
+
+// SubscribeFrom registers a subscriber (as Subscribe) and atomically
+// returns the replay of events after lastID: no event published
+// between the replay snapshot and the registration can be missed or
+// duplicated. The boolean mirrors ReplayFrom's completeness. On a
+// closed hub the subscription's channel is already closed and the
+// replay is empty.
+func (h *Hub) SubscribeFrom(size int, lastID uint64) (*Subscription, []Event, bool) {
+	if size <= 0 {
+		size = DefaultBuffer
+	}
+	ch := make(chan Event, size)
+	sub := &Subscription{C: ch, ch: ch, hub: h}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return sub, nil, true
+	}
+	replay, complete := h.replayLocked(lastID)
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub, replay, complete
 }
 
 // DropsTotal reports events lost across all subscribers since the hub

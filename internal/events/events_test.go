@@ -124,3 +124,106 @@ func TestConcurrentPublishSubscribeCancel(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// ReplayFrom returns the retained suffix in order and reports whether
+// the bounded ring still covers the requested resume point.
+func TestReplayFrom(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	for i := 0; i < 5; i++ {
+		h.Publish("phase", i)
+	}
+	replay, complete := h.ReplayFrom(2)
+	if !complete || len(replay) != 3 {
+		t.Fatalf("ReplayFrom(2) = %d events, complete=%v", len(replay), complete)
+	}
+	for i, ev := range replay {
+		if ev.ID != uint64(3+i) || ev.Type != "phase" {
+			t.Fatalf("replay[%d] = %+v", i, ev)
+		}
+	}
+	if replay, complete := h.ReplayFrom(5); !complete || len(replay) != 0 {
+		t.Fatalf("ReplayFrom(at-head) = %d events, complete=%v", len(replay), complete)
+	}
+	if replay, complete := h.ReplayFrom(99); !complete || len(replay) != 0 {
+		t.Fatalf("ReplayFrom(beyond-head) = %d events, complete=%v", len(replay), complete)
+	}
+}
+
+// The history is a bounded ring: once a resume point is evicted, replay
+// returns what is retained and reports the gap.
+func TestReplayEviction(t *testing.T) {
+	h := NewHubHistory(4)
+	defer h.Close()
+	for i := 0; i < 10; i++ {
+		h.Publish("phase", i)
+	}
+	replay, complete := h.ReplayFrom(0)
+	if complete || len(replay) != 4 {
+		t.Fatalf("ReplayFrom(0) = %d events, complete=%v; want 4, false", len(replay), complete)
+	}
+	if replay[0].ID != 7 || replay[3].ID != 10 {
+		t.Fatalf("retained window [%d..%d], want [7..10]", replay[0].ID, replay[3].ID)
+	}
+	if replay, complete := h.ReplayFrom(6); !complete || len(replay) != 4 {
+		t.Fatalf("ReplayFrom(oldest-1) = %d events, complete=%v", len(replay), complete)
+	}
+	if _, complete := h.ReplayFrom(5); complete {
+		t.Fatal("ReplayFrom(5) claims completeness across an evicted event")
+	}
+}
+
+// SubscribeFrom is atomic with respect to publishes: replay plus live
+// delivery covers every event exactly once, under concurrent
+// publishing.
+func TestSubscribeFromNoGapNoDup(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	const total = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			h.Publish("n", i)
+		}
+	}()
+	// Subscribe mid-stream from ID 0 with room for everything.
+	sub, replay, complete := h.SubscribeFrom(total, 0)
+	defer sub.Cancel()
+	if !complete {
+		t.Fatal("resume from 0 within history reported a gap")
+	}
+	next := uint64(1)
+	for _, ev := range replay {
+		if ev.ID != next {
+			t.Fatalf("replay out of order: got %d want %d", ev.ID, next)
+		}
+		next++
+	}
+	<-done
+	deadline := time.After(5 * time.Second)
+	for next <= total {
+		select {
+		case ev := <-sub.C:
+			if ev.ID != next {
+				t.Fatalf("live delivery: got %d want %d", ev.ID, next)
+			}
+			next++
+		case <-deadline:
+			t.Fatalf("stalled at event %d", next)
+		}
+	}
+}
+
+func TestSubscribeFromClosedHub(t *testing.T) {
+	h := NewHub()
+	h.Publish("phase", 1)
+	h.Close()
+	sub, replay, _ := h.SubscribeFrom(0, 0)
+	if len(replay) != 0 {
+		t.Fatalf("closed hub replayed %d events", len(replay))
+	}
+	if _, open := <-sub.C; open {
+		t.Fatal("closed hub returned an open subscription")
+	}
+}

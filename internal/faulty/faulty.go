@@ -403,13 +403,19 @@ func copyHeader(dst, src http.Header) {
 // ---------------------------------------------------------------------------
 // Response corruption
 
-// corruptBody produces a well-formed variant of a SOAP response with
-// wrong content: the first digit in element text is incremented (123 →
-// 223 — a plausible, structurally identical wrong answer), falling back
-// to flipping a text letter's case, falling back to a canned well-formed
-// envelope when the body has no text at all. The result always differs
-// from the input and always parses.
+// corruptBody produces a well-formed variant of a response with wrong
+// content: the first digit in content position is changed (123 → 223 —
+// a plausible, structurally identical wrong answer), falling back to
+// flipping a content letter's case, falling back to a canned
+// well-formed body when there is no content at all. The result always
+// differs from the input and always parses. Bodies that open with '{'
+// or '[' are mutated under JSON rules (digits outside strings, letters
+// inside them), everything else under XML rules (text strictly between
+// tags), so the corruption stays non-evident for both protocols.
 func corruptBody(body []byte) []byte {
+	if isJSONBody(body) {
+		return corruptJSONBody(body)
+	}
 	out := append([]byte(nil), body...)
 	if i := firstTextByte(out, isDigit); i >= 0 {
 		out[i] = '0' + (out[i]-'0'+1)%10
@@ -420,6 +426,65 @@ func corruptBody(body []byte) []byte {
 		return out
 	}
 	return soap.EnvelopeRaw([]byte("<corruptedResponse/>"))
+}
+
+// isJSONBody reports whether the body's first non-space byte opens a
+// JSON object or array.
+func isJSONBody(body []byte) bool {
+	for _, c := range body {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return c == '{' || c == '['
+		}
+	}
+	return false
+}
+
+// corruptJSONBody is corruptBody's JSON arm. A digit outside string
+// literals is part of a number: changing it (9 steps down so no leading
+// zero can appear) keeps the document valid. Failing that, a letter
+// inside a string flips case. Failing that, a canned object.
+func corruptJSONBody(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	if i := firstJSONByte(out, false, isDigit); i >= 0 {
+		if out[i] == '9' {
+			out[i] = '8'
+		} else {
+			out[i]++
+		}
+		return out
+	}
+	if i := firstJSONByte(out, true, isLetter); i >= 0 {
+		out[i] ^= 0x20 // flip ASCII case
+		return out
+	}
+	return []byte(`{"corrupted":true}`)
+}
+
+// firstJSONByte returns the index of the first byte satisfying pred
+// that sits inside (inString) or outside (!inString) a JSON string
+// literal, honouring escapes, or -1. Bytes in the other region — and
+// the quotes and escapes themselves — are never touched, so the
+// mutation cannot break well-formedness.
+func firstJSONByte(body []byte, inString bool, pred func(byte) bool) int {
+	in, esc := false, false
+	for i, c := range body {
+		switch {
+		case esc:
+			esc = false
+		case in && c == '\\':
+			esc = true
+		case c == '"':
+			in = !in
+		default:
+			if in == inString && pred(c) {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 func isDigit(c byte) bool  { return c >= '0' && c <= '9' }

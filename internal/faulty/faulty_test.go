@@ -2,6 +2,7 @@ package faulty
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -142,6 +143,39 @@ func TestCorruptBodyFallbacks(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "x8") {
 		t.Fatalf("text digit not incremented: %s", out)
+	}
+}
+
+// corruptBody's JSON arm: bodies opening with '{' or '[' are mutated
+// under JSON rules — the result is always valid JSON that differs from
+// the input.
+func TestCorruptBodyJSON(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"number", `{"sum":125}`},
+		{"number-in-array", `[1,2,3]`},
+		{"nine-no-leading-zero", `{"sum":90}`},
+		{"string-only", `{"op1Result":"abc/x"}`},
+		{"digits-in-keys-guarded", `{"k1":"abc"}`},
+		{"empty-object", `{}`},
+		{"leading-whitespace", "  \n\t{\"sum\":7}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := corruptBody([]byte(tc.in))
+			if string(out) == tc.in {
+				t.Fatalf("corrupt output equals input: %s", out)
+			}
+			if !json.Valid(out) {
+				t.Fatalf("corrupt output is not valid JSON: %s", out)
+			}
+		})
+	}
+	// The digit mutation targets numbers, never string contents or keys.
+	out := corruptBody([]byte(`{"k1":"v2","n":34}`))
+	if !strings.Contains(string(out), `"k1":"v2"`) || !strings.Contains(string(out), `:44`) {
+		t.Fatalf("expected the number mutated, strings untouched: %s", out)
 	}
 }
 

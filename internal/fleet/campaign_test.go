@@ -12,6 +12,7 @@ import (
 
 	"wsupgrade/internal/bayes"
 	"wsupgrade/internal/core"
+	"wsupgrade/internal/events"
 	"wsupgrade/internal/journal"
 	"wsupgrade/internal/monitor"
 )
@@ -147,6 +148,7 @@ func TestCorruptJournalQuarantined(t *testing.T) {
 
 // sseEvent is one parsed frame from the /fleet/events stream.
 type sseEvent struct {
+	id    string
 	event string
 	data  string
 }
@@ -161,6 +163,8 @@ func readSSE(ctx context.Context, t *testing.T, body *bufio.Reader, out chan<- s
 		}
 		line = strings.TrimRight(line, "\n")
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[len("id: "):]
 		case strings.HasPrefix(line, "event: "):
 			ev.event = line[len("event: "):]
 		case strings.HasPrefix(line, "data: "):
@@ -255,5 +259,115 @@ func TestEventsStreamDeliversCampaignEvents(t *testing.T) {
 	if ev.event != "release" || !strings.Contains(ev.data, `"action":"added"`) ||
 		!strings.Contains(ev.data, `"version":"2.0"`) {
 		t.Fatalf("release event %+v", ev)
+	}
+}
+
+// openStream opens the authenticated /fleet/events stream with the
+// given extra headers and starts a frame reader.
+func openStream(ctx context.Context, t *testing.T, url, token, lastEventID string) (<-chan sseEvent, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/fleet/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stream.Body.Close() })
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", stream.StatusCode)
+	}
+	ch := make(chan sseEvent, 64)
+	go readSSE(ctx, t, bufio.NewReader(stream.Body), ch)
+	return ch, stream
+}
+
+// A reconnecting subscriber that presents Last-Event-ID resumes from
+// the hub's history: the missed events are replayed with their original
+// ids instead of a fresh status burst.
+func TestEventsStreamResumesFromLastEventID(t *testing.T) {
+	const token = "s3cret"
+	_, ts := twoUnitFleet(t, func(cfg *Config) {
+		cfg.AdminToken = token
+		cfg.Units[0].Engine.InitialPhase = core.PhaseObservation
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, stream := openStream(ctx, t, ts.URL, token, "")
+	for range []string{"flights", "hotels"} {
+		if ev := nextEvent(t, events); ev.event != "status" || ev.id != "" {
+			t.Fatalf("opening event %+v, want id-less status", ev)
+		}
+	}
+
+	// Observe one live event and note its id.
+	postJSON(t, ts.URL+"/fleet/units/flights/phase?token="+token, `{"phase":"parallel"}`, http.StatusOK)
+	ev := nextEvent(t, events)
+	if ev.event != "phase" || ev.id == "" {
+		t.Fatalf("phase event %+v, want an id", ev)
+	}
+	lastID := ev.id
+
+	// Drop the stream, then miss an event while disconnected.
+	stream.Body.Close()
+	postJSON(t, ts.URL+"/fleet/units/flights/phase?token="+token, `{"phase":"new-only"}`, http.StatusOK)
+
+	// Reconnecting with Last-Event-ID replays the miss — no status burst.
+	events2, _ := openStream(ctx, t, ts.URL, token, lastID)
+	ev = nextEvent(t, events2)
+	if ev.event != "phase" || !strings.Contains(ev.data, `"to":"new-only"`) {
+		t.Fatalf("resumed stream opened with %+v, want the missed phase event", ev)
+	}
+	if ev.id == lastID || ev.id == "" {
+		t.Fatalf("replayed event id %q after %q", ev.id, lastID)
+	}
+
+	// A malformed resume point is a 400, not a silent fresh stream.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/fleet/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed Last-Event-ID = %d, want 400", resp.StatusCode)
+	}
+}
+
+// When the gap outruns the bounded history the stream cannot repair the
+// subscriber's view by replay: it says so with a "resync" event and
+// falls back to the status burst.
+func TestEventsStreamResyncsWhenHistoryEvicted(t *testing.T) {
+	const token = "s3cret"
+	f, ts := twoUnitFleet(t, func(cfg *Config) { cfg.AdminToken = token })
+
+	// Age the resume point out of the bounded ring.
+	for i := 0; i < events.DefaultHistory+8; i++ {
+		f.hub.Publish("tick", i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, _ := openStream(ctx, t, ts.URL, token, "1")
+
+	ev := nextEvent(t, stream)
+	if ev.event != "resync" || !strings.Contains(ev.data, `"lastEventId":1`) {
+		t.Fatalf("evicted resume opened with %+v, want resync", ev)
+	}
+	for _, unit := range []string{"flights", "hotels"} {
+		ev = nextEvent(t, stream)
+		if ev.event != "status" || !strings.Contains(ev.data, `"unit":"`+unit+`"`) {
+			t.Fatalf("post-resync event %+v, want status for %s", ev, unit)
+		}
 	}
 }

@@ -39,6 +39,8 @@ import (
 	"wsupgrade/internal/httpx"
 	"wsupgrade/internal/journal"
 	"wsupgrade/internal/lifecycle"
+	"wsupgrade/internal/protocol/jsoncodec"
+	"wsupgrade/internal/protocol/soapcodec"
 	"wsupgrade/internal/registry"
 	"wsupgrade/internal/wire"
 )
@@ -66,6 +68,10 @@ type UnitConfig struct {
 	// Service is the registry service name whose upgrade notifications
 	// feed this unit (default Name).
 	Service string
+	// Protocol selects the unit's wire protocol: "soap" (default) or
+	// "json". It is a convenience over Engine.Codec, which wins when
+	// both are set.
+	Protocol string
 	// Engine is the unit's middleware configuration. When Engine.HTTP
 	// is nil the unit shares the fleet's pooled release transport.
 	Engine core.Config
@@ -194,6 +200,17 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("%w: duplicate unit %q", ErrBadConfig, uc.Name)
 		}
 		ecfg := uc.Engine
+		if ecfg.Codec == nil && uc.Protocol != "" {
+			switch uc.Protocol {
+			case "soap":
+				ecfg.Codec = soapcodec.Default
+			case "json":
+				ecfg.Codec = jsoncodec.Default
+			default:
+				f.closeUnits()
+				return nil, fmt.Errorf("%w: unit %q: unknown protocol %q", ErrBadConfig, uc.Name, uc.Protocol)
+			}
+		}
 		switch {
 		case ecfg.HTTP != nil || ecfg.UseNetHTTP:
 			// The unit brings (or forces) its own net/http transport.

@@ -9,6 +9,12 @@ package fleet
 // blocks on its observers — and the stream says so with a "drops" event
 // carrying the running count, so the consumer knows to re-sync from the
 // pull API (GET /fleet/units).
+//
+// Reconnects resume: a client that presents the standard Last-Event-ID
+// header gets the events it missed replayed from the hub's bounded
+// history instead of a fresh status burst. When the gap exceeds the
+// history, the stream says so with a "resync" event and falls back to
+// the status burst.
 
 import (
 	"encoding/json"
@@ -16,6 +22,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"wsupgrade/internal/events"
 )
 
 // sseHeartbeat is the idle keep-alive cadence: a comment frame that
@@ -47,7 +55,25 @@ func (f *Fleet) handleEvents(w http.ResponseWriter, r *http.Request) {
 		size = n
 	}
 
-	sub := f.hub.Subscribe(size)
+	resume := false
+	var lastID uint64
+	if s := r.Header.Get("Last-Event-ID"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "fleet: Last-Event-ID must be a decimal event id", http.StatusBadRequest)
+			return
+		}
+		lastID, resume = n, true
+	}
+
+	var sub *events.Subscription
+	var replay []events.Event
+	complete := true
+	if resume {
+		sub, replay, complete = f.hub.SubscribeFrom(size, lastID)
+	} else {
+		sub = f.hub.Subscribe(size)
+	}
 	defer sub.Cancel()
 
 	h := w.Header()
@@ -56,16 +82,33 @@ func (f *Fleet) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no") // proxies must not coalesce the stream
 	w.WriteHeader(http.StatusOK)
 
-	// Synchronization point: the current status of every unit, then any
-	// journal notes (quarantines, failed restores) from startup.
-	for _, st := range f.status(false) {
-		if !writeSSE(w, 0, "status", mustJSON(st)) {
-			return
+	if resume && complete {
+		// Resumed stream: replay what the subscriber missed, with the
+		// original ids, instead of a fresh status burst.
+		for _, ev := range replay {
+			if !writeSSE(w, ev.ID, ev.Type, ev.Data) {
+				return
+			}
 		}
-	}
-	for _, note := range f.journalNotes {
-		if !writeSSE(w, 0, "journal", mustJSON(note)) {
-			return
+	} else {
+		if resume {
+			// The gap outran the bounded history — the subscriber's view
+			// cannot be repaired by replay, so say so and re-synchronize.
+			if !writeSSE(w, 0, "resync", mustJSON(map[string]uint64{"lastEventId": lastID})) {
+				return
+			}
+		}
+		// Synchronization point: the current status of every unit, then any
+		// journal notes (quarantines, failed restores) from startup.
+		for _, st := range f.status(false) {
+			if !writeSSE(w, 0, "status", mustJSON(st)) {
+				return
+			}
+		}
+		for _, note := range f.journalNotes {
+			if !writeSSE(w, 0, "journal", mustJSON(note)) {
+				return
+			}
 		}
 	}
 	flusher.Flush()

@@ -69,6 +69,10 @@ type Options struct {
 	// Operation selects the demo operation to invoke: "add" (default)
 	// or "operation1". Both have client-checkable correct answers.
 	Operation string
+	// Protocol selects the gateway wire protocol: "soap" (default) or
+	// "json". JSON demands route by URL path (<target>/<operation>)
+	// with application/json bodies.
+	Protocol string
 	// OpenLoop selects the target-RPS open-loop mode; the default is
 	// closed-loop.
 	OpenLoop bool
@@ -102,6 +106,12 @@ func (o *Options) normalize() error {
 	}
 	if o.Operation != "add" && o.Operation != "operation1" {
 		return fmt.Errorf("%w: unknown operation %q", ErrBadOptions, o.Operation)
+	}
+	if o.Protocol == "" {
+		o.Protocol = "soap"
+	}
+	if o.Protocol != "soap" && o.Protocol != "json" {
+		return fmt.Errorf("%w: unknown protocol %q", ErrBadOptions, o.Protocol)
 	}
 	if o.Concurrency <= 0 {
 		if o.OpenLoop {
@@ -143,6 +153,7 @@ type Report struct {
 	Mode        string         `json:"mode"`
 	Targets     []string       `json:"targets"`
 	Operation   string         `json:"operation"`
+	Protocol    string         `json:"protocol"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Concurrency int            `json:"concurrency"`
 	TargetRPS   float64        `json:"targetRps,omitempty"`
@@ -310,9 +321,15 @@ func runOpen(schedCtx, demandCtx context.Context, client *http.Client, opts Opti
 // latency clock's zero point (now for closed loop, the pacer's slot for
 // open loop).
 func doOne(ctx context.Context, client *http.Client, opts Options, w *worker, url string, scheduled time.Time) {
-	envelope, check := w.buildRequest(opts.Operation)
+	payload, check := w.buildRequest(opts)
+	contentType := soap.ContentType
+	if opts.Protocol == "json" {
+		// JSON demands route by path: <target>/<operation>.
+		url = strings.TrimSuffix(url, "/") + "/" + opts.Operation
+		contentType = "application/json"
+	}
 	reqCtx, cancel := context.WithTimeout(ctx, opts.Timeout)
-	verdict, winner := post(reqCtx, client, url, envelope, check)
+	verdict, winner := post(reqCtx, client, url, contentType, payload, check)
 	cancel()
 
 	latency := time.Since(scheduled)
@@ -326,9 +343,12 @@ func doOne(ctx context.Context, client *http.Client, opts Options, w *worker, ur
 	w.summary.Observe(ms)
 }
 
-// buildRequest produces the demand envelope and its correctness check.
-func (w *worker) buildRequest(operation string) ([]byte, func(body []byte) bool) {
-	switch operation {
+// buildRequest produces the demand payload and its correctness check.
+func (w *worker) buildRequest(opts Options) ([]byte, func(body []byte) bool) {
+	if opts.Protocol == "json" {
+		return w.buildJSONRequest(opts.Operation)
+	}
+	switch opts.Operation {
 	case "operation1":
 		p1 := w.rng.Intn(1000)
 		p2 := fmt.Sprintf("load-%d", w.rng.Intn(1000))
@@ -349,6 +369,30 @@ func (w *worker) buildRequest(operation string) ([]byte, func(body []byte) bool)
 	}
 }
 
+// buildJSONRequest is buildRequest's JSON-gateway arm: same logical
+// demands, REST bodies.
+func (w *worker) buildJSONRequest(operation string) ([]byte, func(body []byte) bool) {
+	switch operation {
+	case "operation1":
+		p1 := w.rng.Intn(1000)
+		p2 := fmt.Sprintf("load-%d", w.rng.Intn(1000))
+		body, _ := json.Marshal(service.Operation1JSONRequest{Param1: p1, Param2: p2})
+		want := fmt.Sprintf("%s/%d", p2, p1*2)
+		return body, func(reply []byte) bool {
+			var out service.Operation1JSONResponse
+			return json.Unmarshal(reply, &out) == nil && out.Op1Result == want
+		}
+	default: // add
+		a, b := w.rng.Intn(10000), w.rng.Intn(10000)
+		body, _ := json.Marshal(service.AddJSONRequest{A: a, B: b})
+		want := a + b
+		return body, func(reply []byte) bool {
+			var out service.AddJSONResponse
+			return json.Unmarshal(reply, &out) == nil && out.Sum == want
+		}
+	}
+}
+
 // decodeReply decodes a response envelope's body element into v.
 func decodeReply(envelope []byte, v interface{}) bool {
 	parsed, err := soap.Parse(envelope)
@@ -359,12 +403,12 @@ func decodeReply(envelope []byte, v interface{}) bool {
 }
 
 // post issues the demand and classifies the consumer-observed outcome.
-func post(ctx context.Context, client *http.Client, url string, envelope []byte, check func([]byte) bool) (verdict, winner string) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(envelope)))
+func post(ctx context.Context, client *http.Client, url, contentType string, payload []byte, check func([]byte) bool) (verdict, winner string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(payload)))
 	if err != nil {
 		return VerdictTransport, ""
 	}
-	req.Header.Set("Content-Type", soap.ContentType)
+	req.Header.Set("Content-Type", contentType)
 	res, err := client.Do(req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -424,6 +468,7 @@ func assemble(opts Options, workers []*worker, elapsed time.Duration) (Report, e
 		Mode:        mode,
 		Targets:     opts.URLs,
 		Operation:   opts.Operation,
+		Protocol:    opts.Protocol,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Concurrency: opts.Concurrency,
 		TargetRPS:   opts.RPS,

@@ -184,16 +184,16 @@ func TestVerdictClassification(t *testing.T) {
 	defer rejectSrv.Close()
 
 	ctx := context.Background()
-	if v, w := post(ctx, client, okSrv.URL, envelope, checkSum3); v != VerdictOK || w != "1.0" {
+	if v, w := post(ctx, client, okSrv.URL, soap.ContentType, envelope, checkSum3); v != VerdictOK || w != "1.0" {
 		t.Fatalf("ok endpoint: verdict=%s winner=%s", v, w)
 	}
-	if v, w := post(ctx, client, wrongSrv.URL, envelope, checkSum3); v != VerdictWrong || w != "1.1" {
+	if v, w := post(ctx, client, wrongSrv.URL, soap.ContentType, envelope, checkSum3); v != VerdictWrong || w != "1.1" {
 		t.Fatalf("wrong endpoint: verdict=%s winner=%s", v, w)
 	}
-	if v, _ := post(ctx, client, faultSrv.URL, envelope, checkSum3); v != VerdictFault {
+	if v, _ := post(ctx, client, faultSrv.URL, soap.ContentType, envelope, checkSum3); v != VerdictFault {
 		t.Fatalf("fault endpoint: verdict=%s", v)
 	}
-	if v, _ := post(ctx, client, rejectSrv.URL, envelope, checkSum3); v != VerdictRejected {
+	if v, _ := post(ctx, client, rejectSrv.URL, soap.ContentType, envelope, checkSum3); v != VerdictRejected {
 		t.Fatalf("404 endpoint: verdict=%s", v)
 	}
 
@@ -207,7 +207,7 @@ func TestVerdictClassification(t *testing.T) {
 	defer hung.Close()
 	shortCtx, cancel := context.WithTimeout(ctx, 80*time.Millisecond)
 	defer cancel()
-	if v, _ := post(shortCtx, client, hung.URL, envelope, checkSum3); v != VerdictTimeout {
+	if v, _ := post(shortCtx, client, hung.URL, soap.ContentType, envelope, checkSum3); v != VerdictTimeout {
 		t.Fatalf("hung endpoint: verdict=%s, want timeout", v)
 	}
 
@@ -215,7 +215,7 @@ func TestVerdictClassification(t *testing.T) {
 	deadSrv := serve(http.StatusOK, "", nil)
 	deadURL := deadSrv.URL
 	deadSrv.Close()
-	if v, _ := post(ctx, client, deadURL, envelope, checkSum3); v != VerdictTransport {
+	if v, _ := post(ctx, client, deadURL, soap.ContentType, envelope, checkSum3); v != VerdictTransport {
 		t.Fatalf("dead endpoint: verdict=%s, want transport", v)
 	}
 }

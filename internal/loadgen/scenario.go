@@ -27,6 +27,7 @@ import (
 	"wsupgrade/internal/faulty"
 	"wsupgrade/internal/fleet"
 	"wsupgrade/internal/oracle"
+	"wsupgrade/internal/protocol/jsoncodec"
 	"wsupgrade/internal/service"
 	"wsupgrade/internal/stats"
 )
@@ -137,13 +138,14 @@ func (r *ScenarioResult) check(cond bool, format string, args ...interface{}) {
 type scenarioFunc func(ctx context.Context, opts ScenarioOptions) (ScenarioResult, error)
 
 var scenarios = map[string]scenarioFunc{
-	"corrupt-never-wins":   corruptNeverWins,
-	"omission-convergence": omissionConvergence,
-	"crash-restart":        crashRestart,
-	"crash-recovery":       crashRecovery,
-	"mixed-fault":          mixedFault,
-	"saturation":           saturation,
-	"soak":                 soak,
+	"corrupt-never-wins":      corruptNeverWins,
+	"corrupt-never-wins-json": corruptNeverWinsJSON,
+	"omission-convergence":    omissionConvergence,
+	"crash-restart":           crashRestart,
+	"crash-recovery":          crashRecovery,
+	"mixed-fault":             mixedFault,
+	"saturation":              saturation,
+	"soak":                    soak,
 }
 
 // Scenarios lists the runnable scenario names, sorted.
@@ -185,11 +187,15 @@ type releaseSpec struct {
 
 // unitSpec is one upgrade unit: releases plus engine knobs.
 type unitSpec struct {
-	name    string
-	old     releaseSpec
-	new     releaseSpec
-	timeout time.Duration
-	policy  *core.PolicyConfig
+	name string
+	// protocol selects the unit's gateway codec: "" or "soap" for the
+	// SOAP mediator, "json" for the REST/JSON gateway over the same
+	// dispatch core.
+	protocol string
+	old      releaseSpec
+	new      releaseSpec
+	timeout  time.Duration
+	policy   *core.PolicyConfig
 }
 
 // hostedUnit is a booted unitSpec with handles for chaos control.
@@ -259,11 +265,20 @@ func deploy(seed uint64, specs ...unitSpec) (*deployment, error) {
 		hu := &hostedUnit{name: spec.name}
 		endpoints := make([]core.Endpoint, 0, 2)
 		for j, rel := range []releaseSpec{spec.old, spec.new} {
-			release, err := service.New(service.DemoContract(rel.version), service.DemoBehaviours(), service.FaultPlan{})
-			if err != nil {
-				return nil, err
+			var handler http.Handler
+			if spec.protocol == "json" {
+				release, err := service.NewJSON(rel.version, service.DemoJSONBehaviours(), service.FaultPlan{})
+				if err != nil {
+					return nil, err
+				}
+				handler = release.Handler()
+			} else {
+				release, err := service.New(service.DemoContract(rel.version), service.DemoBehaviours(), service.FaultPlan{})
+				if err != nil {
+					return nil, err
+				}
+				handler = release.Handler()
 			}
-			handler := http.Handler(release.Handler())
 			if len(rel.faults) > 0 {
 				inj := faulty.Wrap(handler, seed+uint64(i*2+j), rel.faults...)
 				handler = inj
@@ -284,13 +299,18 @@ func deploy(seed uint64, specs ...unitSpec) (*deployment, error) {
 			endpoints = append(endpoints, core.Endpoint{Version: rel.version, URL: srv.URL()})
 		}
 		d.units[spec.name] = hu
+		ref := oracle.Reference{Release: spec.old.version}
+		if spec.protocol == "json" {
+			ref.Codec = jsoncodec.Default
+		}
 		unitConfigs = append(unitConfigs, fleet.UnitConfig{
-			Name: spec.name,
+			Name:     spec.name,
+			Protocol: spec.protocol,
 			Engine: core.Config{
 				Releases:         endpoints,
 				Timeout:          spec.timeout,
 				InitialPhase:     core.PhaseObservation,
-				Oracle:           oracle.Reference{Release: spec.old.version},
+				Oracle:           ref,
 				Inference:        whiteBox(),
 				Policy:           spec.policy,
 				ConfidenceTarget: 0.05,
@@ -379,12 +399,24 @@ func injected(d *deployment) map[string]map[string]int {
 // automatic switch policy never promotes it — so consumers never see a
 // wrong answer even though every single new-release response is wrong.
 func corruptNeverWins(ctx context.Context, opts ScenarioOptions) (ScenarioResult, error) {
+	return corruptNeverWinsOn(ctx, opts, "soap")
+}
+
+// corruptNeverWinsJSON is the same claim driven end to end through the
+// REST/JSON gateway: JSON releases, JSON-aware corruption, JSON
+// demands — the adjudication guarantees must be protocol-independent.
+func corruptNeverWinsJSON(ctx context.Context, opts ScenarioOptions) (ScenarioResult, error) {
+	return corruptNeverWinsOn(ctx, opts, "json")
+}
+
+func corruptNeverWinsOn(ctx context.Context, opts ScenarioOptions, protocol string) (ScenarioResult, error) {
 	var res ScenarioResult
 	const oldV, newV = "1.0", "1.1"
 	d, err := deploy(opts.Seed, unitSpec{
-		name: "svc",
-		old:  releaseSpec{version: oldV},
-		new:  releaseSpec{version: newV, faults: []faulty.Fault{{Mode: faulty.Corrupt, Rate: 1}}},
+		name:     "svc",
+		protocol: protocol,
+		old:      releaseSpec{version: oldV},
+		new:      releaseSpec{version: newV, faults: []faulty.Fault{{Mode: faulty.Corrupt, Rate: 1}}},
 		policy: &core.PolicyConfig{
 			Criterion:  bayes.Criterion3{Confidence: 0.95},
 			CheckEvery: 50,
@@ -396,9 +428,10 @@ func corruptNeverWins(ctx context.Context, opts ScenarioOptions) (ScenarioResult
 	}
 	defer d.close()
 
-	opts.logf("corrupt-never-wins: driving %d demands at %s", opts.Requests, d.unitURL("svc"))
+	opts.logf("corrupt-never-wins (%s): driving %d demands at %s", protocol, opts.Requests, d.unitURL("svc"))
 	load, err := Run(ctx, Options{
 		URLs:        []string{d.unitURL("svc")},
+		Protocol:    protocol,
 		Concurrency: opts.Concurrency,
 		Requests:    opts.Requests,
 		Seed:        opts.Seed,

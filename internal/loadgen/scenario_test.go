@@ -14,7 +14,7 @@ import (
 
 func TestScenarioRegistry(t *testing.T) {
 	names := Scenarios()
-	want := []string{"corrupt-never-wins", "crash-recovery", "crash-restart", "mixed-fault", "omission-convergence", "saturation", "soak"}
+	want := []string{"corrupt-never-wins", "corrupt-never-wins-json", "crash-recovery", "crash-restart", "mixed-fault", "omission-convergence", "saturation", "soak"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Scenarios() = %v, want %v (sorted)", names, want)
 	}
@@ -57,6 +57,30 @@ func TestCorruptNeverWins(t *testing.T) {
 	}
 	if !back.Pass || back.Scenario != "corrupt-never-wins" || back.Units[0].NewJudgedFailures == 0 {
 		t.Fatalf("JSON round-trip lost evidence: %+v", back)
+	}
+}
+
+// TestCorruptNeverWinsJSON: the flagship claim holds end to end through
+// the REST/JSON gateway — JSON releases, JSON-aware corruption, JSON
+// demands, same verdict.
+func TestCorruptNeverWinsJSON(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	res, err := RunScenario(context.Background(), "corrupt-never-wins-json",
+		ScenarioOptions{Requests: 150, Concurrency: 3, Seed: 7})
+	if err != nil {
+		t.Fatalf("scenario failed: %v\nresult: %+v", err, res)
+	}
+	if res.Load.Protocol != "json" {
+		t.Fatalf("load protocol = %q", res.Load.Protocol)
+	}
+	if res.Load.Verdicts[VerdictOK] != 150 || res.Load.Winners["1.1"] != 0 {
+		t.Fatalf("load evidence inconsistent: %+v", res.Load)
+	}
+	if got := res.Injected["svc"]["corrupt"]; got < 140 {
+		t.Fatalf("injector corrupted %d of 150 demands at rate 1", got)
+	}
+	if res.Units[0].Phase != "observation" {
+		t.Fatalf("phase = %s", res.Units[0].Phase)
 	}
 }
 

@@ -32,7 +32,8 @@ import (
 	"sync"
 
 	"wsupgrade/internal/adjudicate"
-	"wsupgrade/internal/soap"
+	"wsupgrade/internal/protocol"
+	"wsupgrade/internal/protocol/soapcodec"
 	"wsupgrade/internal/xrand"
 )
 
@@ -108,6 +109,9 @@ func (FaultOnly) Name() string { return "fault-only" }
 type Reference struct {
 	// Release is the trusted release's version string.
 	Release string
+	// Codec supplies canonical payload equivalence; nil means the SOAP
+	// codec (XML canonicalization).
+	Codec protocol.Codec
 }
 
 var _ Oracle = Reference{}
@@ -135,7 +139,7 @@ func (o Reference) JudgeInto(dst []bool, operation string, replies []adjudicate.
 		switch {
 		case !r.Valid():
 			failed[i] = true
-		case ref != nil && r.Release != o.Release && !soap.EqualCanonical(r.Body, ref.Body):
+		case ref != nil && r.Release != o.Release && !payloadEqual(o.Codec, r.Body, ref.Body):
 			failed[i] = true
 		}
 	}
@@ -150,7 +154,11 @@ func (o Reference) Name() string { return "reference(" + o.Release + ")" }
 // tell which is wrong without further diversity); identical replies pass.
 // This is deliberately the paper's pessimistic §5.1.1.3 detector —
 // coincident identical failures are recorded as joint successes.
-type BackToBack struct{}
+type BackToBack struct {
+	// Codec supplies canonical payload equivalence; nil means the SOAP
+	// codec. The zero value is the historical SOAP back-to-back oracle.
+	Codec protocol.Codec
+}
 
 var _ Oracle = BackToBack{}
 
@@ -162,7 +170,7 @@ func (o BackToBack) Judge(operation string, replies []adjudicate.Reply) []bool {
 // JudgeInto implements Oracle.
 //
 //wsu:noalloc
-func (BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
+func (o BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.Reply) []bool {
 	//wsu:allow noalloc -- verdict-slice grow path; pooled callers pass adequate capacity
 	failed := verdicts(dst, len(replies))
 	first := -1 // first valid reply: the comparison base
@@ -183,7 +191,7 @@ func (BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.R
 	base := replies[first].Body
 	agree := true
 	for i := first + 1; i < len(replies); i++ {
-		if replies[i].Valid() && !soap.EqualCanonical(base, replies[i].Body) {
+		if replies[i].Valid() && !payloadEqual(o.Codec, base, replies[i].Body) {
 			agree = false
 			break
 		}
@@ -200,6 +208,18 @@ func (BackToBack) JudgeInto(dst []bool, operation string, replies []adjudicate.R
 
 // Name implements Oracle.
 func (BackToBack) Name() string { return "back-to-back" }
+
+// payloadEqual compares two reply payloads through the oracle's codec,
+// defaulting to the SOAP codec so zero-value oracles keep their
+// historical behaviour.
+//
+//wsu:noalloc
+func payloadEqual(c protocol.Codec, a, b []byte) bool {
+	if c == nil {
+		c = soapcodec.Default
+	}
+	return c.Equal(a, b)
+}
 
 // Header is the ground-truth oracle of the test harness: it reads the
 // fault-injection marker attached by the internal/service runtime. A

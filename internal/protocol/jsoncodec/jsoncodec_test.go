@@ -1,0 +1,273 @@
+package jsoncodec
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsupgrade/internal/protocol"
+)
+
+// referenceEqual is the specification Equal must agree with on
+// parsable inputs: a full encoding/json round trip into interface
+// values compared structurally.
+func referenceEqual(a, b []byte) (equal, parsable bool) {
+	var va, vb any
+	if json.Unmarshal(a, &va) != nil || json.Unmarshal(b, &vb) != nil {
+		return false, false
+	}
+	return reflect.DeepEqual(va, vb), true
+}
+
+// equivalenceCorpus is the shared canonical-JSON corpus: key
+// reordering, whitespace, number forms, unicode escapes, nested
+// arrays/objects — plus pairs that must stay distinguishable.
+var equivalenceCorpus = []struct {
+	name  string
+	a, b  string
+	equal bool
+}{
+	{"identical", `{"sum":3}`, `{"sum":3}`, true},
+	{"key-reorder", `{"a":1,"b":2}`, `{"b":2,"a":1}`, true},
+	{"nested-key-reorder",
+		`{"outer":{"x":1,"y":[{"p":1,"q":2}]}}`,
+		`{"outer":{"y":[{"q":2,"p":1}],"x":1}}`, true},
+	{"whitespace", `{"a": 1,  "b": [1, 2, 3]}`, `{"a":1,"b":[1,2,3]}`, true},
+	{"newlines-and-tabs", "{\n\t\"a\": 1\n}", `{"a":1}`, true},
+	{"number-int-vs-decimal", `{"n":1}`, `{"n":1.0}`, true},
+	{"number-exponent", `{"n":1}`, `{"n":1e0}`, true},
+	{"number-exponent-decimal", `{"n":100}`, `{"n":1.0e2}`, true},
+	{"number-negative-forms", `{"n":-0.5}`, `{"n":-5e-1}`, true},
+	{"unicode-escape", `{"s":"\u0041BC"}`, `{"s":"ABC"}`, true},
+	{"unicode-escape-nonascii", `{"s":"\u00e9"}`, `{"s":"é"}`, true},
+	{"escaped-solidus", `{"s":"a\/b"}`, `{"s":"a/b"}`, true},
+	{"nested-arrays", `[[1, 2], [3, [4]]]`, `[[1,2],[3,[4]]]`, true},
+	{"top-level-scalar", `  1e3 `, `1000`, true},
+	{"null-vs-missing", `{"a":null}`, `{}`, false},
+	{"different-values", `{"n":1}`, `{"n":2}`, false},
+	{"array-order-matters", `[1,2]`, `[2,1]`, false},
+	{"string-vs-number", `{"n":"1"}`, `{"n":1}`, false},
+	{"case-sensitive-keys", `{"A":1}`, `{"a":1}`, false},
+	{"extra-key", `{"a":1}`, `{"a":1,"b":1}`, false},
+	{"bool-vs-string", `{"ok":true}`, `{"ok":"true"}`, false},
+}
+
+func TestEqualAgreesWithReference(t *testing.T) {
+	var c Codec
+	for _, tc := range equivalenceCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := []byte(tc.a), []byte(tc.b)
+			refEq, parsable := referenceEqual(a, b)
+			if !parsable {
+				t.Fatalf("corpus entry %q is not parsable JSON", tc.name)
+			}
+			if refEq != tc.equal {
+				t.Fatalf("corpus entry %q: reference says %v, corpus says %v",
+					tc.name, refEq, tc.equal)
+			}
+			if got := c.Equal(a, b); got != tc.equal {
+				t.Errorf("Equal(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.equal)
+			}
+			if got := c.Equal(b, a); got != tc.equal {
+				t.Errorf("Equal(%q, %q) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.equal)
+			}
+		})
+	}
+}
+
+// TestEqualMalformedFallsBack mirrors the SOAP sniffer's conservatism:
+// payloads that do not parse compare by raw bytes only.
+func TestEqualMalformedFallsBack(t *testing.T) {
+	var c Codec
+	malformed := []string{`{"a":`, `{broken}`, ``, `{"a":1}trailing`}
+	for _, m := range malformed {
+		if !c.Equal([]byte(m), []byte(m)) {
+			t.Errorf("identical malformed payload %q must compare equal (byte fast path)", m)
+		}
+		if c.Equal([]byte(m), []byte(`{"a":1}`)) {
+			t.Errorf("malformed %q must not compare equal to valid JSON", m)
+		}
+		if c.Equal([]byte(m), []byte(m+" ")) {
+			t.Errorf("textually distinct malformed payloads %q must stay unequal", m)
+		}
+	}
+}
+
+func TestRouteOperation(t *testing.T) {
+	cases := []struct {
+		path, want string
+	}{
+		{"/add", "add"},
+		{"add", "add"},
+		{"/add/", "add"},
+		{"//add//", "add"},
+		{"/", ""},
+		{"", ""},
+		{"/a/b", ""},
+		{"/operation1", "operation1"},
+	}
+	for _, tc := range cases {
+		if got := routeOperation(tc.path); got != tc.want {
+			t.Errorf("routeOperation(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeRequest(t *testing.T) {
+	var c Codec
+	req, err := c.DecodeRequest("/add", []byte(`{"a":1,"b":2}`))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if req.Op != "add" || req.Element != "add" {
+		t.Fatalf("DecodeRequest = %+v", req)
+	}
+
+	if _, err := c.DecodeRequest("/a/b", []byte(`{}`)); err == nil {
+		t.Error("nested path must be rejected")
+	}
+	_, err = c.DecodeRequest("/add", []byte(`{"a":`))
+	if err == nil {
+		t.Fatal("malformed body must be rejected")
+	}
+	var pe *protocol.Error
+	if !errors.As(err, &pe) || !pe.Client {
+		t.Errorf("malformed body error must be a client protocol.Error, got %v", err)
+	}
+}
+
+func TestDecodeReplyClassification(t *testing.T) {
+	var c Codec
+
+	payload, aliases, err := c.DecodeReply(200, []byte(`{"sum":3}`))
+	if err != nil || !aliases || string(payload) != `{"sum":3}` {
+		t.Fatalf("200 valid: payload=%q aliases=%v err=%v", payload, aliases, err)
+	}
+
+	if _, _, err := c.DecodeReply(200, []byte(`not json`)); err == nil {
+		t.Fatal("200 invalid JSON must classify as error")
+	} else if protocol.IsFault(err) {
+		t.Fatal("invalid 200 body is not a protocol fault")
+	}
+
+	_, _, err = c.DecodeReply(500, []byte(`{"error":{"message":"boom","operation":"add"}}`))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("500 error body must yield *Fault, got %v", err)
+	}
+	if !protocol.IsFault(err) {
+		t.Error("*Fault must satisfy protocol.IsFault")
+	}
+	if f.Message != "boom" || f.Operation != "add" || f.Status != 500 {
+		t.Errorf("fault = %+v", f)
+	}
+
+	_, _, err = c.DecodeReply(500, []byte(`plain crash text`))
+	if se, ok := err.(protocol.StatusError); !ok || se.Error() != "HTTP 500" {
+		t.Errorf("unclassifiable 500 must be StatusError, got %v", err)
+	}
+	_, _, err = c.DecodeReply(503, []byte(`{"error":{"message":"x"}}`))
+	if se, ok := err.(protocol.StatusError); !ok || se.Error() != "HTTP 503" {
+		t.Errorf("non-fault status must be StatusError, got %v", err)
+	}
+}
+
+func TestAccepts(t *testing.T) {
+	var c Codec
+	for _, ct := range []string{"", "application/json", "application/json; charset=utf-8", "text/plain"} {
+		if !c.Accepts(ct) {
+			t.Errorf("Accepts(%q) = false, want true", ct)
+		}
+	}
+	for _, ct := range []string{"text/xml", "application/soap+xml", "TEXT/XML; charset=utf-8"} {
+		if c.Accepts(ct) {
+			t.Errorf("Accepts(%q) = true, want false", ct)
+		}
+	}
+}
+
+func TestWriteErrorShapes(t *testing.T) {
+	var c Codec
+
+	rec := httptest.NewRecorder()
+	c.WriteError(rec, "add", &Fault{Status: 500, Message: "boom", Operation: "add"})
+	if rec.Code != 500 {
+		t.Errorf("fault status = %d", rec.Code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil {
+		t.Fatalf("error body %q: %v", rec.Body.String(), err)
+	}
+	if env.Error.Message != "boom" || env.Error.Operation != "add" {
+		t.Errorf("fault body = %+v", env.Error)
+	}
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Errorf("Content-Type = %q", got)
+	}
+
+	rec = httptest.NewRecorder()
+	c.WriteError(rec, "add", protocol.ClientError("bad demand"))
+	if rec.Code != 400 {
+		t.Errorf("client error status = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	c.WriteError(rec, "add", errors.New("opaque"))
+	if rec.Code != 500 {
+		t.Errorf("opaque error status = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	c.WriteRejection(rec, 415, "json endpoint: unsupported content type")
+	if rec.Code != 415 {
+		t.Errorf("rejection status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "unsupported content type") {
+		t.Errorf("rejection body = %q", rec.Body.String())
+	}
+}
+
+func TestTargetURLInterning(t *testing.T) {
+	var c Codec
+	u1 := c.TargetURL("http://release:8080", "add")
+	if u1 != "http://release:8080/add" {
+		t.Fatalf("TargetURL = %q", u1)
+	}
+	u2 := c.TargetURL("http://release:8080", "add")
+	if u2 != u1 {
+		t.Errorf("interned URL changed: %q vs %q", u1, u2)
+	}
+	if got := c.TargetURL("http://release:8080/", "add"); got != "http://release:8080/add" {
+		t.Errorf("trailing slash join = %q", got)
+	}
+}
+
+func TestTargetURLAllocFree(t *testing.T) {
+	var c Codec
+	c.TargetURL("http://warm:1", "op") // prime the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		if c.TargetURL("http://warm:1", "op") == "" {
+			t.Fatal("empty target")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm TargetURL allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestEqualFastPathAllocFree(t *testing.T) {
+	var c Codec
+	a := []byte(`{"sum":3}`)
+	b := []byte(`{"sum":3}`)
+	allocs := testing.AllocsPerRun(100, func() {
+		if !c.Equal(a, b) {
+			t.Fatal("equal payloads")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("byte-equal fast path allocates %v/op, want 0", allocs)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"wsupgrade/internal/httpx"
+	"wsupgrade/internal/protocol"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -65,6 +66,11 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
 }
 
+// ProtocolFault marks the fault for the codec seam: protocol.IsFault
+// recognizes a SOAP fault as an evident failure that still carried a
+// response (see internal/protocol.Fault).
+func (f *Fault) ProtocolFault() {}
+
 // ServerFault builds a receiver-side fault.
 func ServerFault(msg string) *Fault { return &Fault{Code: "soap:Server", String: msg} }
 
@@ -79,8 +85,10 @@ func IsFault(err error) bool {
 	return errors.As(err, &f)
 }
 
-// HeaderItem is one SOAP header entry, kept as raw XML.
-type HeaderItem []byte
+// HeaderItem is one SOAP header entry, kept as raw XML. It aliases the
+// codec seam's header type so items cross the protocol boundary without
+// conversion.
+type HeaderItem = protocol.HeaderItem
 
 // Parsed is a decoded SOAP envelope.
 type Parsed struct {
